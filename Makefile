@@ -1,0 +1,22 @@
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report: bench
+	@echo "see REPORT.md and benchmarks/out/"
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+clean:
+	rm -rf benchmarks/out REPORT.md test_output.txt bench_output.txt \
+	       .pytest_cache $$(find . -name __pycache__ -type d)

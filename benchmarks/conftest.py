@@ -1,0 +1,85 @@
+"""Shared benchmark fixtures.
+
+The benchmarks reproduce the paper's evaluation at full scale
+(PAPER_SCALE: 3,000 training MHMs, 10 EM restarts, full-length
+scenarios).  Training happens once per session; every benchmark also
+writes a human-readable report into ``benchmarks/out/`` with the
+paper-vs-measured rows that EXPERIMENTS.md summarises.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.pipeline.experiments import (
+    PAPER_SCALE,
+    get_reference_artifacts,
+    run_app_launch_experiment,
+    run_rootkit_experiment,
+    run_shellcode_experiment,
+)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def paper_artifacts():
+    """The Section 5.2 reference detector (trained once per session)."""
+    return get_reference_artifacts(PAPER_SCALE)
+
+
+@pytest.fixture(scope="session")
+def fig7_outcome(paper_artifacts):
+    return run_app_launch_experiment(paper_artifacts)
+
+
+@pytest.fixture(scope="session")
+def fig8_outcome(paper_artifacts):
+    return run_shellcode_experiment(paper_artifacts)
+
+
+@pytest.fixture(scope="session")
+def rootkit_outcome(paper_artifacts):
+    """Shared by the Figure 9 and Figure 10 benches (same run)."""
+    return run_rootkit_experiment(paper_artifacts)
+
+
+class Report:
+    """Collects lines and writes them to benchmarks/out/<name>.txt."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: list[str] = []
+
+    def add(self, *lines: str) -> None:
+        self.lines.extend(lines)
+
+    def table(self, headers, rows, title=""):
+        from repro.viz.tables import format_table
+
+        self.add(format_table(headers, rows, title=title), "")
+
+    def flush(self) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+        print(f"\n[{self.name}] report -> {path}")
+        print("\n".join(self.lines))
+
+
+@pytest.fixture()
+def report(request):
+    rep = Report(request.node.name.replace("/", "_"))
+    yield rep
+    rep.flush()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Stitch the per-benchmark reports into REPORT.md after every run."""
+    from repro.viz.report import write_report
+
+    if OUT_DIR.exists():
+        destination = OUT_DIR.parent.parent / "REPORT.md"
+        write_report(OUT_DIR, destination)

@@ -1,0 +1,128 @@
+"""Ablation A9: global eigenmemory+GMM vs local-feature detector.
+
+The paper's Limitation (Section 5.5): "Some systems may exhibit highly
+unpredictable, but yet legitimate, memory usage caused by, for example,
+network activities or user interactions ... our current model may alarm
+many false positives.  To deal with such problems, we plan to build a
+robust classification algorithm by extracting local features from MHMs
+in an unsupervised manner."
+
+Setup: both detectors train on a platform *with* network activity
+(Poisson interrupt trains at a nominal rate).  They are then evaluated
+in two regimes:
+
+* **matched** — a fresh boot with the same traffic model (plus the
+  shellcode attack, to compare sensitivity);
+* **legitimate variation** — the same system under a 4x traffic surge
+  with extra execution jitter: nothing malicious, just the
+  unpredictable load §5.5 describes.
+
+The expectation (the paper's, and ours): the global model is the more
+sensitive detector in its home regime but floods with false alarms
+under the legitimate surge; the bag-of-patches local-feature detector
+(the classical stand-in for the paper's deep-learning plan) absorbs a
+large share of that variation.
+"""
+
+import numpy as np
+from dataclasses import replace
+
+from repro.attacks import ShellcodeAttack
+from repro.learn.detector import MhmDetector
+from repro.learn.localfeatures import LocalFeatureDetector
+from repro.pipeline.scenario import ScenarioRunner
+from repro.sim.devices import NetworkDeviceConfig
+from repro.sim.platform import Platform, PlatformConfig
+
+
+def _base_config() -> PlatformConfig:
+    return PlatformConfig(
+        seed=970,
+        network_devices=(
+            NetworkDeviceConfig(mean_rate_hz=300.0, burst_length_mean=2.0),
+        ),
+    )
+
+
+def _surge_config(base: PlatformConfig) -> PlatformConfig:
+    """Legitimate-but-unpredictable: 4x traffic + jittery tasks."""
+    return replace(
+        base.with_seed(base.seed + 9),
+        network_devices=(
+            NetworkDeviceConfig(mean_rate_hz=1200.0, burst_length_mean=4.0),
+        ),
+        tasks=tuple(replace(t, exec_jitter=0.08) for t in base.tasks),
+        kernel_jitter_scale=2.0,
+    )
+
+
+def test_ablation_localfeatures(benchmark, report):
+    base = _base_config()
+    training = Platform(base).collect_intervals(400)
+    validation = Platform(base.with_seed(971)).collect_intervals(200)
+
+    global_detector = MhmDetector(em_restarts=3, seed=0).fit(training, validation)
+    local_detector = LocalFeatureDetector(
+        patch_cells=16, stride=8, num_codewords=24, em_restarts=3, seed=0
+    ).fit(training, validation)
+
+    # Regime 1: matched traffic, shellcode attack.
+    platform = Platform(base.with_seed(972))
+    result = ScenarioRunner(platform).run(
+        ShellcodeAttack(), pre_intervals=80, attack_intervals=80
+    )
+    truth = result.ground_truth()
+    global_flags = global_detector.classify_series(result.series, 1.0)
+    local_flags = local_detector.classify_series(result.series, 1.0)
+
+    # Regime 2: legitimate traffic surge, nothing malicious.
+    legit_series = Platform(_surge_config(base)).collect_intervals(120)
+    global_legit_fpr = float(
+        global_detector.classify_series(legit_series, 1.0).mean()
+    )
+    local_legit_fpr = float(
+        local_detector.classify_series(legit_series, 1.0).mean()
+    )
+
+    rows = [
+        [
+            "MHM + GMM (paper)",
+            f"{float(global_flags[:80].mean()):.1%}",
+            f"{float(global_flags[truth].mean()):.1%}",
+            f"{global_legit_fpr:.1%}",
+        ],
+        [
+            "local features (bag-of-patches)",
+            f"{float(local_flags[:80].mean()):.1%}",
+            f"{float(local_flags[truth].mean()):.1%}",
+            f"{local_legit_fpr:.1%}",
+        ],
+    ]
+    report.table(
+        [
+            "detector",
+            "FPR (matched traffic)",
+            "shellcode TPR",
+            "FPR (legitimate 4x surge)",
+        ],
+        rows,
+        title="A9 — global vs local-feature detector (Section 5.5 future work)",
+    )
+    report.add(
+        "Both detectors trained on a system with 300 Hz network traffic.",
+        "Under a legitimate 4x surge the global model alarms on nearly",
+        "every interval, the paper's predicted failure mode; the",
+        "patch-level detector absorbs a large share of the variation",
+        "because L2-normalised local shapes are rate-insensitive.",
+    )
+
+    # The paper's global detector is the sensitive one in-regime...
+    assert float(global_flags[truth].mean()) >= 0.5
+    assert float(global_flags[:80].mean()) <= 0.1
+    # ...but fragile to unseen legitimate variation...
+    assert global_legit_fpr > 0.5
+    # ...where the local-feature extension is substantially more robust.
+    assert local_legit_fpr <= 0.7 * global_legit_fpr
+
+    heat_map = validation[0]
+    benchmark(lambda: local_detector.log_density(heat_map))

@@ -1,0 +1,79 @@
+"""Ablation A10: rootkit stealth sweep — how slow must evil be?
+
+Section 5.3 observes that the rootkit's *only* post-load channel into
+the MHM is the timing perturbation its per-call delay induces (the
+wrapper itself is outside the monitored region).  That makes the delay
+a stealth knob: a patient attacker who adds less work per hijacked
+call perturbs the schedule less.  This ablation sweeps the wrapper's
+extra latency and measures the post-load detection rate — the
+detection-vs-stealth trade-off curve implicit in Figure 10.
+"""
+
+import numpy as np
+
+from repro.attacks import SyscallHijackRootkit
+from repro.pipeline.experiments import run_rootkit_experiment
+
+LATENCIES_US = (0, 5, 25, 60, 120)
+
+
+def test_ablation_stealth(benchmark, report, paper_artifacts):
+    rows = []
+    rates = {}
+    for latency_us in LATENCIES_US:
+        outcome = run_rootkit_experiment(
+            paper_artifacts,
+            scenario_seed=920 + latency_us,
+            extra_latency_ns=latency_us * 1_000,
+        )
+        flags = outcome.flags(1.0)
+        load = outcome.scenario.attack_interval
+        post_rate = float(flags[load + 2 :].mean())
+        shift = float(
+            np.median(outcome.log10_densities[load + 2 :])
+            - np.median(outcome.log10_densities[:load])
+        )
+        rates[latency_us] = post_rate
+        rows.append(
+            [
+                f"{latency_us} us",
+                str(bool(flags[load] or flags[load + 1])),
+                f"{post_rate:.1%}",
+                f"{shift:+.2f}",
+            ]
+        )
+
+    report.table(
+        [
+            "wrapper delay per read",
+            "load flagged",
+            "post-load flag rate",
+            "density shift (log10)",
+        ],
+        rows,
+        title="A10 — rootkit stealth sweep (paper uses ~25 us-class delays)",
+    )
+    report.add(
+        "A zero-delay wrapper is invisible after the load (it executes",
+        "entirely outside the monitored region and perturbs nothing);",
+        "detection rises with the per-call delay as sha's timing shifts.",
+        "The load spike itself is caught at every stealth level — the",
+        "one thing a hijacking LKM cannot avoid is being loaded.",
+    )
+
+    # The load is always caught.
+    for row in rows:
+        assert row[1] == "True", row
+    # The stealth trade-off is monotone-ish: heavy delays are easier to
+    # see than near-zero ones.
+    assert rates[0] <= 0.05
+    assert rates[120] >= rates[0]
+    assert rates[120] >= 0.05
+
+    benchmark.pedantic(
+        lambda: run_rootkit_experiment(
+            paper_artifacts, scenario_seed=999, extra_latency_ns=25_000
+        ),
+        rounds=1,
+        iterations=1,
+    )

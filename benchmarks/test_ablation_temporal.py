@@ -1,0 +1,84 @@
+"""Ablation A11: adding temporal structure to the detector.
+
+The paper's detector is memoryless across intervals.  A first-order
+Markov chain over the GMM component sequence (the hyperperiod's phase
+order) adds a second detection channel.  Two questions:
+
+1. does it cost false positives on normal behaviour?
+2. what does it catch that the per-interval test cannot?  The clean
+   demonstration is a *scrambled replay*: individually-normal MHMs in
+   a random order, which leaves per-interval densities untouched by
+   construction.
+"""
+
+import numpy as np
+
+from repro.learn.temporal import TemporalDetector
+from repro.pipeline.experiments import run_rootkit_experiment
+from repro.sim.platform import Platform
+
+
+def test_ablation_temporal(benchmark, report, paper_artifacts):
+    base_detector = paper_artifacts.detector
+    temporal = TemporalDetector(base_detector, p_percent=1.0).fit(
+        paper_artifacts.data.training, paper_artifacts.data.validation
+    )
+
+    # Normal behaviour: the extra channel must stay quiet.
+    platform = Platform(paper_artifacts.config.with_seed(930))
+    normal = platform.collect_intervals(200)
+    base_fpr = float(base_detector.classify_series(normal, 1.0).mean())
+    temporal_fpr = float(temporal.classify_series(normal).mean())
+
+    # Scrambled replay: permute a normal validation window.
+    rng = np.random.default_rng(0)
+    matrix = paper_artifacts.data.validation.matrix()
+    scrambled = matrix[rng.permutation(len(matrix))]
+    base_replay = float(base_detector.classify_series(scrambled, 1.0).mean())
+    temporal_replay = float(temporal.classify_series(scrambled).mean())
+
+    # The rootkit's stealthy phase: timing drift is temporal by nature.
+    outcome = run_rootkit_experiment(paper_artifacts, scenario_seed=931)
+    load = outcome.scenario.attack_interval
+    series = outcome.scenario.series
+    base_rootkit = float(
+        base_detector.classify_series(series, 1.0)[load + 2 :].mean()
+    )
+    temporal_rootkit = float(temporal.classify_series(series)[load + 2 :].mean())
+
+    rows = [
+        ["normal boot FPR", f"{base_fpr:.1%}", f"{temporal_fpr:.1%}"],
+        [
+            "scrambled replay (flag rate)",
+            f"{base_replay:.1%}",
+            f"{temporal_replay:.1%}",
+        ],
+        [
+            "rootkit stealthy-phase detection",
+            f"{base_rootkit:.1%}",
+            f"{temporal_rootkit:.1%}",
+        ],
+    ]
+    report.table(
+        ["condition", "per-interval (paper)", "+ temporal channel"],
+        rows,
+        title="A11 — Markov transition channel on top of the paper's detector",
+    )
+    report.add(
+        "A permutation of normal MHMs cannot move per-interval densities",
+        "(the paper's detector is provably blind to it); the transition",
+        "channel flags the broken hyperperiod order immediately.  On the",
+        "rootkit's stealthy phase — a timing anomaly — the temporal",
+        "channel matches or improves the per-interval rate, at a small",
+        "false-positive premium on normal boots.",
+    )
+
+    # 1) modest FPR cost;
+    assert temporal_fpr <= base_fpr + 0.10
+    # 2) the replay is invisible per-interval, visible temporally;
+    assert base_replay <= 0.05
+    assert temporal_replay >= 5 * max(base_replay, 0.01)
+    # 3) never worse on the rootkit's stealthy phase.
+    assert temporal_rootkit >= base_rootkit
+
+    benchmark(lambda: temporal.classify_series(normal[:50]))

@@ -1,0 +1,76 @@
+"""Section 5.2: the training protocol.
+
+Paper: 10 normal runs x 3 s -> 3,000 MHMs of 1,472 cells each; 9
+eigenmemories retain > 99.99 % of the variance; GMM with J = 5 fitted
+by 10-restart EM; thresholds set to p-quantiles of a separate normal
+set's densities.
+
+The benchmark measures the end-to-end training step on the reduced
+representation (the expensive part after data collection).
+"""
+
+import numpy as np
+import pytest
+
+from repro.learn.gmm import GaussianMixtureModel
+
+
+def test_sec52_training(benchmark, report, paper_artifacts):
+    data = paper_artifacts.data
+    detector = paper_artifacts.detector
+    eigen = detector.eigenmemory
+
+    report.table(
+        ["quantity", "paper", "measured"],
+        [
+            ["training MHMs", "3,000 (10 x 3 s)", f"{data.num_training:,}"],
+            ["cells per MHM (L)", "1,472", f"{detector.eigenmemory.mean_.shape[0]:,}"],
+            ["eigenmemories (L')", "9", f"{eigen.num_components_}"],
+            [
+                "variance retained",
+                "> 99.99 %",
+                f"{eigen.retained_variance_:.6%}",
+            ],
+            ["GMM components (J)", "5", f"{detector.num_gaussians}"],
+            ["EM restarts", "10", f"{detector.em_restarts}"],
+            ["validation MHMs", "another normal set", f"{data.num_validation:,}"],
+            [
+                "theta_0.5 (log10)",
+                "0.5%-quantile",
+                f"{detector.log10_threshold(0.5):.2f}",
+            ],
+            [
+                "theta_1 (log10)",
+                "1%-quantile",
+                f"{detector.log10_threshold(1.0):.2f}",
+            ],
+        ],
+        title="Section 5.2 — training protocol (paper vs measured)",
+    )
+    spectrum = ", ".join(
+        f"{v:.4f}" for v in eigen.explained_variance_ratio_[:10]
+    )
+    report.add(f"leading variance ratios: {spectrum}")
+
+    assert data.num_training == 3000
+    assert eigen.retained_variance_ >= 0.9999
+    # The paper found 9 on its Simics traces; our synthetic kernel's
+    # activity count is in the same regime.
+    assert 5 <= eigen.num_components_ <= 20
+    assert detector.threshold(0.5) <= detector.threshold(1.0)
+
+    # Expected FPR equals p on the calibration set by construction.
+    flags = detector.classify_series(data.validation, p_percent=1.0)
+    assert flags.mean() == pytest.approx(0.01, abs=0.005)
+
+    # Benchmark: GMM training (J=5, one k-means-seeded restart) on the
+    # reduced 3,000-sample training set.
+    reduced = eigen.transform(data.training)
+
+    def fit_gmm_once():
+        return GaussianMixtureModel(
+            num_components=5, num_restarts=1, seed=0
+        ).fit(reduced)
+
+    model = benchmark.pedantic(fit_gmm_once, rounds=3, iterations=1)
+    assert np.isfinite(model.training_log_likelihood_)

@@ -1,0 +1,74 @@
+"""Section 5.1's task-set table and the 78 % system load.
+
+    app        exec time  period   category
+    FFT        2 ms       10 ms    telecomm
+    bitcount   3 ms       20 ms    automotive
+    basicmath  9 ms       50 ms    automotive
+    sha        25 ms      100 ms   security
+
+The benchmark measures simulation throughput (simulated monitoring
+intervals per wall second).
+"""
+
+import pytest
+
+from repro.sim.engine import NS_PER_MS, NS_PER_SEC
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.workloads.mibench import TASK_CATEGORIES, paper_taskset
+
+
+def test_table_taskset(benchmark, report):
+    platform = Platform(PlatformConfig(seed=2015))
+    platform.run_for(3 * NS_PER_SEC)
+
+    rows = []
+    for task in paper_taskset():
+        stats = platform.scheduler.task(task.name).stats
+        rows.append(
+            [
+                task.name,
+                f"{task.exec_time_ns / NS_PER_MS:g} ms",
+                f"{task.period_ns / NS_PER_MS:g} ms",
+                TASK_CATEGORIES[task.name],
+                stats.releases,
+                stats.completions,
+                stats.deadline_misses,
+                f"{stats.mean_response_ns / NS_PER_MS:.2f} ms",
+                f"{stats.max_response_ns / NS_PER_MS:.2f} ms",
+            ]
+        )
+    report.table(
+        [
+            "task",
+            "exec",
+            "period",
+            "category",
+            "releases",
+            "done",
+            "misses",
+            "mean resp",
+            "max resp",
+        ],
+        rows,
+        title="Section 5.1 — MiBench task set over 3 s (paper: 78 % load)",
+    )
+    nominal = platform.scheduler.total_utilization()
+    measured = platform.scheduler.measured_utilization()
+    report.add(
+        f"nominal utilisation : {nominal:.2%}   (paper: 78%)",
+        f"measured utilisation: {measured:.2%}  (incl. syscall kernel time)",
+        f"context switches    : {platform.scheduler.context_switches}",
+    )
+
+    assert nominal == pytest.approx(0.78)
+    assert 0.72 <= measured <= 0.88
+    for task in paper_taskset():
+        assert platform.scheduler.task(task.name).stats.deadline_misses == 0
+
+    def simulate_ten_intervals():
+        fresh = Platform(PlatformConfig(seed=1))
+        fresh.run_intervals(10)
+        return fresh.intervals_completed
+
+    intervals = benchmark(simulate_ten_intervals)
+    assert intervals == 10

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Memometer placement study (the paper's Limitation section, 5.5).
+
+The paper snoops the address line *between the core and L1* because a
+snoop point below the cache loses every access that hits.  Section 5.5
+considers moving the Memometer to the shared cache or bus ("we would
+need only a single Memometer") and conjectures a modest accuracy drop.
+
+This study measures the trade-off on the simulator: traffic retention,
+heat-map shape, normal-state false positives and rootkit-load
+detection at all three snoop points.
+
+Run:  python examples/placement_study.py
+"""
+
+from repro import MhmDetector, Platform, PlatformConfig
+from repro.attacks import SyscallHijackRootkit
+from repro.viz.tables import format_table
+
+
+def evaluate(placement: str) -> list:
+    config = PlatformConfig(seed=50, placement=placement)
+    training = Platform(config).collect_intervals(200)
+    validation = Platform(config.with_seed(51)).collect_intervals(150)
+    detector = MhmDetector(em_restarts=3, seed=0).fit(training, validation)
+
+    test_platform = Platform(config.with_seed(52))
+    normal = test_platform.collect_intervals(80)
+    fpr = detector.classify_series(normal, p_percent=1.0).mean()
+
+    SyscallHijackRootkit().inject(test_platform)
+    window = test_platform.collect_intervals(3)
+    load_caught = detector.classify_series(window, p_percent=1.0).any()
+
+    volumes = training.traffic_volumes()
+    touched = training.matrix().astype(bool).sum(axis=1).mean()
+    return [
+        placement,
+        f"{volumes.mean():,.0f}",
+        f"{touched:.0f}",
+        f"{fpr:.1%}",
+        "yes" if load_caught else "NO",
+    ]
+
+
+def main() -> None:
+    rows = [evaluate(p) for p in ("pre-l1", "post-l1", "post-l2")]
+    print(
+        format_table(
+            [
+                "snoop point",
+                "accesses / interval",
+                "touched cells",
+                "normal FPR @ theta_1",
+                "rootkit load caught",
+            ],
+            rows,
+            title="Memometer placement study (Section 5.5)",
+        )
+    )
+    print(
+        "\nreading: pre-L1 (the paper's design) sees the full fetch\n"
+        "stream; one level down the stream thins but gross anomalies\n"
+        "are still caught; below the shared L2 the kernel's hot set\n"
+        "fits in cache and the steady-state signal almost vanishes —\n"
+        "for this region size, the 'simpler' bus-level Memometer would\n"
+        "cost real accuracy, which is why the paper snoops pre-L1."
+    )
+
+
+if __name__ == "__main__":
+    main()

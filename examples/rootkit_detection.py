@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Scenario 3 end-to-end: catching a kernel rootkit (Figures 9 + 10).
+
+A loadable kernel module hijacks the ``read`` system call by patching
+the syscall table.  The malicious wrapper lives in module space —
+*outside* the monitored region — and chains to the original handler,
+so after the load the memory **traffic volume is indistinguishable
+from normal** (Figure 9).  The MHM detector still sees two things:
+
+* the module *loader* runs inside the kernel .text — a massive,
+  unmistakable spike at load time;
+* the wrapper's per-call delay perturbs the timing of read-heavy tasks
+  (sha above all), which shows up as intermittent low densities
+  synchronised with sha's 100 ms period (Figure 10).
+
+Run:  python examples/rootkit_detection.py
+"""
+
+import numpy as np
+
+from repro import Platform, PlatformConfig
+from repro.attacks import SyscallHijackRootkit
+from repro.learn.baselines import TrafficVolumeDetector
+from repro.pipeline import ScenarioRunner, collect_training_data, train_detector
+from repro.viz.ascii import render_series
+from repro.viz.tables import format_table
+
+
+def main() -> None:
+    config = PlatformConfig(seed=7)
+
+    print("collecting normal training data (4 boots x 2 s) ...")
+    data = collect_training_data(
+        config, runs=4, intervals_per_run=200, validation_intervals=200
+    )
+    detector = train_detector(data, em_restarts=5, seed=0)
+    volume_baseline = TrafficVolumeDetector(p_percent=0.5).fit(data.training)
+    print(
+        f"trained: L' = {detector.num_eigenmemories_}, "
+        f"theta_1 = {detector.log10_threshold(1.0):.1f} log10\n"
+    )
+
+    print("running the rootkit scenario on a fresh boot ...")
+    platform = Platform(config.with_seed(123))
+    runner = ScenarioRunner(platform)
+    result = runner.run(
+        SyscallHijackRootkit(extra_latency_ns=25_000),
+        pre_intervals=150,
+        attack_intervals=250,
+    )
+    load = result.attack_interval
+
+    densities = detector.log10_series(result.series)
+    volumes = result.series.traffic_volumes().astype(float)
+    mhm_flags = densities < detector.log10_threshold(1.0)
+    volume_flags = volume_baseline.classify_series(result.series)
+
+    print("\nFigure 9 — traffic volume (what a volume monitor sees):")
+    print(render_series(volumes, events={"load": load}, height=10, width=96))
+
+    print("\nFigure 10 — MHM log10 densities (what the paper's detector sees):")
+    print(
+        render_series(
+            np.clip(densities, np.median(densities) - 60, None),
+            thresholds={"t1": detector.log10_threshold(1.0)},
+            events={"load": load},
+            height=12,
+            width=96,
+        )
+    )
+
+    post = slice(load + 2, None)
+    print()
+    print(
+        format_table(
+            ["detector", "load spike caught", "post-load flags", "verdict"],
+            [
+                [
+                    "traffic volume",
+                    str(bool(volume_flags[load])),
+                    f"{volume_flags[post].mean():.1%}",
+                    "blind after the load (Figure 9)",
+                ],
+                [
+                    "MHM + GMM",
+                    str(bool(mhm_flags[load] or mhm_flags[load + 1])),
+                    f"{mhm_flags[post].mean():.1%}",
+                    "sees intermittent sha-synchronised drift (Figure 10)",
+                ],
+            ],
+            title="rootkit detectability",
+        )
+    )
+
+    flagged = np.flatnonzero(mhm_flags[post]) + load + 2
+    if flagged.size:
+        phases = np.bincount(flagged % 10, minlength=10)
+        print(
+            f"\npost-load MHM flags by 10-interval phase (sha period = "
+            f"10 intervals): {phases.tolist()}"
+        )
+        print(
+            "the flags cluster on the phase where sha executes — the "
+            "paper's Section 5.3 observation."
+        )
+
+
+if __name__ == "__main__":
+    main()

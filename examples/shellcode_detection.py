@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scenario 2 end-to-end: detecting shellcode execution (Figure 8).
+
+The simulated payload reproduces shell-storm #669 (Linux/ARM): it
+writes ``0`` to ``/proc/sys/kernel/randomize_va_space`` — disabling
+ASLR — then spawns a shell, killing its host application (bitcount).
+The kernel-side footprint of those actions, and above all the
+permanent disappearance of bitcount's periodic jobs, shifts the MHM
+composition for good: densities drop at the attack and never recover.
+
+Run:  python examples/shellcode_detection.py
+"""
+
+import numpy as np
+
+from repro import Platform, PlatformConfig
+from repro.attacks import ShellcodeAttack
+from repro.learn.metrics import detection_latency, roc_auc_from_scores
+from repro.pipeline import ScenarioRunner, collect_training_data, train_detector
+from repro.viz.ascii import render_series
+
+
+def main() -> None:
+    config = PlatformConfig(seed=7)
+
+    print("collecting normal training data ...")
+    data = collect_training_data(
+        config, runs=4, intervals_per_run=200, validation_intervals=200
+    )
+    detector = train_detector(data, em_restarts=5, seed=0)
+    theta_1 = detector.log10_threshold(1.0)
+    print(f"trained; theta_1 = {theta_1:.1f} log10\n")
+
+    print("injecting the shellcode into bitcount on a fresh boot ...")
+    platform = Platform(config.with_seed(321))
+    result = ScenarioRunner(platform).run(
+        ShellcodeAttack(host="bitcount"),
+        pre_intervals=150,
+        attack_intervals=150,
+    )
+    inject = result.attack_interval
+
+    # The semantic payload effects, verifiable in the simulator:
+    print(f"ASLR after attack      : {'on' if platform.kernel.aslr.enabled else 'OFF'}")
+    print(f"bitcount still running : {'bitcount' in platform.scheduler.task_names}")
+    print(f"shell process spawned  : {'sh' in platform.processes.alive_processes()}")
+
+    densities = detector.log10_series(result.series)
+    flags = densities < theta_1
+    truth = result.ground_truth()
+
+    print("\nFigure 8 — log10 Pr(M):")
+    print(
+        render_series(
+            np.clip(densities, np.median(densities) - 80, None),
+            thresholds={"t1": theta_1},
+            events={"shellcode": inject},
+            height=12,
+            width=96,
+        )
+    )
+    print()
+    print(f"pre-attack false positives : {flags[:inject].sum()} / {inject}")
+    print(
+        f"post-attack flagged        : {flags[inject:].sum()} / "
+        f"{len(flags) - inject} ({flags[inject:].mean():.0%})"
+    )
+    print(
+        f"detection latency          : "
+        f"{detection_latency(flags, inject)} intervals "
+        f"({detection_latency(flags, inject) * 10} ms)"
+    )
+    print(
+        f"score separability (AUC)   : "
+        f"{roc_auc_from_scores(-densities, truth):.3f}"
+    )
+    print(
+        "\nthe paper's takeaway: 'most shellcodes can be detected because "
+        "they typically kill the host process by spawning a shell.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Tour of the scaling extensions: SMP platforms and RTOS mode.
+
+The paper's Limitation section (5.5) sketches how the architecture
+scales to more cores — for SMP, one set of MHM memories with the snoop
+logic replicated per core — and its conclusion (Section 7) predicts
+the technique works even better on an RTOS, whose memory behaviour is
+more deterministic.  Both are implemented; this example walks through
+them.
+
+Run:  python examples/smp_rtos_tour.py
+"""
+
+import numpy as np
+
+from repro import MhmDetector, Platform, PlatformConfig
+from repro.attacks import SyscallHijackRootkit
+from repro.sim.smp import partition_tasks, per_core_utilization
+from repro.sim.workloads import paper_taskset, rtos_config
+from repro.sim.workloads.mibench import crc32_task, dijkstra_task
+from repro.viz.tables import format_table
+
+
+def smp_demo() -> None:
+    print("=" * 68)
+    print("SMP: six tasks partitioned across two monitored cores")
+    print("=" * 68)
+    tasks = partition_tasks(paper_taskset() + [crc32_task(), dijkstra_task()], 2)
+    loads = per_core_utilization(tasks, 2)
+    print(
+        format_table(
+            ["task", "exec", "period", "core"],
+            [
+                [t.name, f"{t.exec_time_ns / 1e6:g} ms", f"{t.period_ns / 1e6:g} ms", t.core]
+                for t in tasks
+            ],
+            title=f"worst-fit-decreasing partition (loads: "
+            f"{loads[0]:.2f} / {loads[1]:.2f})",
+        )
+    )
+
+    config = PlatformConfig(seed=31, monitored_cores=2, tasks=tuple(tasks))
+    training = Platform(config).collect_intervals(250)
+    validation = Platform(config.with_seed(32)).collect_intervals(150)
+    detector = MhmDetector(em_restarts=3, seed=0).fit(training, validation)
+
+    live = Platform(config.with_seed(33))
+    normal = live.collect_intervals(80)
+    print(
+        f"\nsingle Memometer aggregating both cores: "
+        f"{training.traffic_volumes().mean():,.0f} accesses/interval"
+    )
+    print(
+        f"normal FPR on a fresh SMP boot: "
+        f"{detector.classify_series(normal, 1.0).mean():.1%}"
+    )
+    SyscallHijackRootkit().inject(live)
+    spike = live.collect_intervals(2)
+    print(
+        f"rootkit load caught on the shared MHM stream: "
+        f"{bool(detector.classify_series(spike, 1.0).any())}"
+    )
+
+
+def rtos_demo() -> None:
+    print()
+    print("=" * 68)
+    print("RTOS mode: harmonic, memory-locked, deterministic kernel paths")
+    print("=" * 68)
+    rows = []
+    for label, config in (
+        ("Linux-like", PlatformConfig(seed=41)),
+        ("RTOS-like", rtos_config(seed=41)),
+    ):
+        series = Platform(config).collect_intervals(150)
+        matrix = series.matrix()
+        mean = matrix.mean(axis=0)
+        hot = mean > 10
+        spread = float((matrix.std(axis=0)[hot] / mean[hot]).mean())
+        volumes = series.traffic_volumes()
+        rows.append(
+            [
+                label,
+                f"{volumes.mean():,.0f}",
+                f"{np.std(volumes) / np.mean(volumes):.1%}",
+                f"{spread:.1%}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "platform",
+                "accesses / interval",
+                "volume variation",
+                "hot-cell relative spread",
+            ],
+            rows,
+            title="normal-behaviour tightness (lower = easier to model)",
+        )
+    )
+    print(
+        "\nthe RTOS platform's maps are measurably tighter — the paper's\n"
+        "Section 7 expectation ('our techniques will be even more\n"
+        "effective') — see benchmarks/test_ablation_rtos.py for the\n"
+        "head-to-head detection comparison."
+    )
+
+
+if __name__ == "__main__":
+    smp_demo()
+    rtos_demo()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The sandbox has no `wheel` package, so PEP 660 editable installs fail;
+this file lets pip fall back to `setup.py develop`.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Forensic analysis of flagged heat maps."""
+
+from .attribution import AttributionReport, CellAttribution, explain_heatmap
+
+__all__ = ["explain_heatmap", "AttributionReport", "CellAttribution"]

@@ -1,0 +1,174 @@
+"""Anomaly forensics: *why* was this heat map flagged?
+
+The paper's detector gives a per-interval verdict; an operator's next
+question is *what changed*.  Because the pipeline is linear algebra
+over an address-indexed vector, the answer is recoverable:
+
+1. project the suspect MHM into eigenmemory space and find the GMM
+   component that takes the most responsibility for it — the closest
+   normal behaviour pattern;
+2. reconstruct that component's *expected* heat map
+   (``Ψ + uᵀ·μ_j``) and diff it against the observed one;
+3. rank cells by their share of the squared deviation and translate
+   each back into kernel symbols via the layout.
+
+On the paper's attacks this points straight at the cause: the rootkit
+load interval attributes to ``load_module``/``apply_relocate`` cells,
+an application launch to the ``fork``/``execve``/loader path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.mhm import MemoryHeatMap
+from ..learn.detector import MhmDetector
+from ..sim.kernel.layout import KernelLayout
+
+__all__ = ["CellAttribution", "AttributionReport", "explain_heatmap"]
+
+
+@dataclass(frozen=True)
+class CellAttribution:
+    """One cell's contribution to the anomaly."""
+
+    cell_index: int
+    start_address: int
+    end_address: int
+    observed: float
+    expected: float
+    deviation_share: float
+    functions: tuple[str, ...] = ()
+    subsystem: Optional[str] = None
+
+    @property
+    def excess(self) -> float:
+        """Positive = more accesses than the nearest normal pattern."""
+        return self.observed - self.expected
+
+
+@dataclass
+class AttributionReport:
+    """The forensic summary for one flagged interval."""
+
+    log_density: float
+    is_anomalous: bool
+    nearest_component: int
+    component_responsibility: float
+    cells: list[CellAttribution] = field(default_factory=list)
+    subsystem_shares: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dominant_subsystem(self) -> Optional[str]:
+        if not self.subsystem_shares:
+            return None
+        return max(self.subsystem_shares, key=self.subsystem_shares.get)
+
+    def render(self) -> str:
+        """Human-readable forensic report."""
+        lines = [
+            f"log10 Pr(M) = {self.log_density / np.log(10):.2f}  "
+            f"({'ANOMALOUS' if self.is_anomalous else 'normal'})",
+            f"nearest normal pattern: GMM component {self.nearest_component} "
+            f"(responsibility {self.component_responsibility:.1%})",
+        ]
+        if self.subsystem_shares:
+            shares = ", ".join(
+                f"{name} {share:.0%}"
+                for name, share in sorted(
+                    self.subsystem_shares.items(), key=lambda kv: -kv[1]
+                )[:5]
+            )
+            lines.append(f"deviation by subsystem: {shares}")
+        lines.append("top deviating cells:")
+        for cell in self.cells:
+            symbols = ", ".join(cell.functions[:3]) or "?"
+            direction = "+" if cell.excess >= 0 else "-"
+            lines.append(
+                f"  cell {cell.cell_index:4d} "
+                f"[{cell.start_address:#x}..{cell.end_address:#x}) "
+                f"{direction}{abs(cell.excess):7.0f} accesses "
+                f"({cell.deviation_share:5.1%})  {symbols}"
+            )
+        return "\n".join(lines)
+
+
+def explain_heatmap(
+    detector: MhmDetector,
+    heat_map: MemoryHeatMap,
+    layout: Optional[KernelLayout] = None,
+    top_k: int = 10,
+    p_percent: float = 1.0,
+) -> AttributionReport:
+    """Attribute a heat map's deviation to cells and kernel symbols.
+
+    Parameters
+    ----------
+    detector:
+        A fitted :class:`~repro.learn.detector.MhmDetector`.
+    heat_map:
+        The interval to explain (flagged or not).
+    layout:
+        Kernel layout for symbol translation; cells outside the image
+        (or with no layout given) carry no symbol annotations.
+    top_k:
+        Number of cells to report.
+    p_percent:
+        θ_p used for the anomalous verdict.
+    """
+    if not detector.is_fitted:
+        raise RuntimeError("detector must be fitted")
+    vector = heat_map.as_vector()
+    reduced = detector.eigenmemory.transform(vector[np.newaxis, :])
+    responsibilities = detector.gmm.responsibilities(reduced)[0]
+    nearest = int(responsibilities.argmax())
+
+    # The nearest normal pattern, reconstructed in cell space.
+    component_mean = detector.gmm.parameters.means[nearest]
+    expected = detector.eigenmemory.inverse_transform(component_mean)
+
+    residual = vector - expected
+    squared = residual**2
+    total = float(squared.sum()) or 1.0
+
+    spec = heat_map.spec
+    order = np.argsort(squared)[::-1][: max(0, top_k)]
+    cells: list[CellAttribution] = []
+    subsystem_shares: dict[str, float] = {}
+    for index in order:
+        start, end = spec.cell_range(int(index))
+        functions: tuple[str, ...] = ()
+        subsystem = None
+        if layout is not None:
+            overlapping = layout.functions_overlapping(start, end)
+            functions = tuple(fn.name for fn in overlapping)
+            if overlapping:
+                subsystem = overlapping[0].subsystem
+        share = float(squared[index]) / total
+        cells.append(
+            CellAttribution(
+                cell_index=int(index),
+                start_address=start,
+                end_address=end,
+                observed=float(vector[index]),
+                expected=float(expected[index]),
+                deviation_share=share,
+                functions=functions,
+                subsystem=subsystem,
+            )
+        )
+        key = subsystem or "(outside image)"
+        subsystem_shares[key] = subsystem_shares.get(key, 0.0) + share
+
+    log_density = detector.log_density(heat_map)
+    return AttributionReport(
+        log_density=log_density,
+        is_anomalous=log_density < detector.threshold(p_percent),
+        nearest_component=nearest,
+        component_responsibility=float(responsibilities[nearest]),
+        cells=cells,
+        subsystem_shares=subsystem_shares,
+    )

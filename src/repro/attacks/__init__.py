@@ -1,0 +1,14 @@
+"""The paper's attack scenarios (Section 5.3)."""
+
+from .app_launch import AppLaunchAttack
+from .base import Attack, AttackError
+from .rootkit import SyscallHijackRootkit
+from .shellcode import ShellcodeAttack
+
+__all__ = [
+    "Attack",
+    "AttackError",
+    "AppLaunchAttack",
+    "ShellcodeAttack",
+    "SyscallHijackRootkit",
+]

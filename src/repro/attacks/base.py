@@ -1,0 +1,43 @@
+"""Attack abstractions.
+
+Each attack of Section 5.3 is an object that can :meth:`~Attack.inject`
+itself into a running :class:`~repro.sim.platform.Platform` at the
+current simulated instant, and (when the scenario calls for it, like
+qsort's exit in Figure 7) :meth:`~Attack.revert` its effect later.  The
+scenario runner in :mod:`repro.pipeline.scenario` handles the timing
+and the interval bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.platform import Platform
+
+__all__ = ["Attack", "AttackError"]
+
+
+class AttackError(RuntimeError):
+    """An attack could not be injected or reverted."""
+
+
+class Attack(abc.ABC):
+    """A system-level anomaly to inject into a running platform."""
+
+    #: Human-readable scenario name.
+    name: str = "attack"
+
+    @abc.abstractmethod
+    def inject(self, platform: "Platform") -> None:
+        """Carry out the attack at ``platform.now``."""
+
+    def revert(self, platform: "Platform") -> None:
+        """Undo the attack (optional; e.g. the launched app exits)."""
+        raise AttackError(f"attack {self.name!r} cannot be reverted")
+
+    @property
+    def reversible(self) -> bool:
+        """Whether :meth:`revert` is implemented."""
+        return type(self).revert is not Attack.revert

@@ -1,0 +1,112 @@
+"""Scenario 3: kernel rootkit via system-call hijacking (Figures 9, 10).
+
+The paper builds an LKM "that resembles the most representative type of
+such rootkits, i.e., ones that perform system call hijacking [Phrack
+52]": it redirects ``read`` by patching the system-call table; the
+malicious handler just inspects the buffer returned by the original
+handler.
+
+Reproduced here in all its observable parts:
+
+* **module load** — the ``init_module`` path runs inside the monitored
+  kernel text and produces the big, easily detected spike at "Rootkit
+  Launched";
+* **the hijack itself** — the wrapper lives in module space, *outside*
+  the monitored region, so its own fetches never reach the MHM;
+* **the stealthy aftermath** — the wrapper chains to the original
+  ``read`` handler (traffic volume stays normal: Figure 9) but adds a
+  per-call delay, and those accumulated delays shift the timing of
+  read-heavy tasks — sha above all — which weakly and intermittently
+  perturbs the MHM composition (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.kernel.footprint import FootprintStep
+from ..sim.kernel.syscalls import KernelService
+from .base import Attack, AttackError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.platform import Platform
+
+__all__ = ["SyscallHijackRootkit"]
+
+
+class SyscallHijackRootkit(Attack):
+    """LKM rootkit that hijacks a system call.
+
+    Parameters
+    ----------
+    syscall:
+        Table entry to patch (paper: ``read``).
+    extra_latency_ns:
+        CPU time the malicious wrapper adds per call (reading the
+        returned buffer).  This is the only channel through which the
+        post-load rootkit perturbs the MHMs.
+    module_size:
+        Size of the loaded module's text in module space.
+    module_name:
+        Name under which the LKM registers.
+    """
+
+    name = "rootkit-syscall-hijack"
+
+    def __init__(
+        self,
+        syscall: str = "read",
+        extra_latency_ns: int = 25_000,
+        module_size: int = 16 * 1024,
+        module_name: str = "netfilter_helper",
+    ):
+        if extra_latency_ns < 0:
+            raise ValueError("extra_latency_ns must be non-negative")
+        self.syscall = syscall
+        self.extra_latency_ns = extra_latency_ns
+        self.module_size = module_size
+        self.module_name = module_name
+        self.loaded = False
+
+    def inject(self, platform: "Platform") -> None:
+        if self.loaded:
+            raise AttackError("rootkit module is already loaded")
+        kernel = platform.kernel
+        if self.syscall not in kernel.syscall_table:
+            raise AttackError(f"no syscall {self.syscall!r} to hijack")
+
+        # insmod: very visible in the monitored region.
+        module = kernel.modules.load(
+            self.module_name,
+            self.module_size,
+            function_names=["evil_entry", "evil_inspect_buffer", "evil_helpers"],
+        )
+
+        # The wrapper's own footprint is entirely in module space.
+        wrapper_steps = [
+            FootprintStep(
+                function=None,
+                address=fn.address,
+                size=fn.size,
+                iterations=2.0,
+                coverage=0.8,
+            )
+            for fn in module.functions
+        ]
+        wrapper = KernelService(
+            name=f"rootkit.{self.syscall}_wrapper",
+            footprint=kernel.compiler.compile(wrapper_steps),
+            latency_ns=max(1, self.extra_latency_ns // 2),
+        )
+        kernel.syscall_table.hijack(
+            self.syscall, wrapper, extra_latency_ns=self.extra_latency_ns
+        )
+        self.loaded = True
+
+    def revert(self, platform: "Platform") -> None:
+        """rmmod: restore the table entry and unload the module."""
+        if not self.loaded:
+            raise AttackError("rootkit module is not loaded")
+        platform.kernel.syscall_table.restore(self.syscall)
+        platform.kernel.modules.unload(self.module_name)
+        self.loaded = False

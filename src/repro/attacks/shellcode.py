@@ -1,0 +1,75 @@
+"""Scenario 2: shellcode execution (Figure 8).
+
+The paper injects the shell-storm #669 Linux/ARM shellcode into the
+``bitcount`` application.  That shellcode disables ASLR by writing
+``0`` to ``/proc/sys/kernel/randomize_va_space`` and then spawns a
+shell — killing its host in the process.  "This shellcode was easily
+detectable because the shellcode eventually kills its original host";
+the MHM composition changes persistently once bitcount's periodic jobs
+disappear from the schedule.
+
+The simulated payload performs the same observable sequence:
+
+1. the sysctl write (open → write → close through the procfs handlers,
+   flipping the kernel's ASLR state);
+2. fork + execve of ``/bin/sh`` (an aperiodic process that then just
+   blocks);
+3. ``exit_group`` of the host task, which is withdrawn from the
+   scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.kernel.aslr import RANDOMIZE_VA_SPACE
+from .base import Attack, AttackError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.platform import Platform
+
+__all__ = ["ShellcodeAttack"]
+
+
+class ShellcodeAttack(Attack):
+    """ASLR-disabling, shell-spawning shellcode in a host application.
+
+    Parameters
+    ----------
+    host:
+        Name of the task the shellcode was injected into (paper:
+        ``bitcount``).
+    disable_aslr:
+        Whether the payload performs the sysctl write (shell-storm
+        #669's signature action).
+    spawn_shell:
+        Whether the payload execs a shell (killing the host); nearly
+        every real shellcode does, which is the paper's point.
+    """
+
+    name = "shellcode"
+
+    def __init__(
+        self,
+        host: str = "bitcount",
+        disable_aslr: bool = True,
+        spawn_shell: bool = True,
+    ):
+        self.host = host
+        self.disable_aslr = disable_aslr
+        self.spawn_shell = spawn_shell
+        self.executed = False
+
+    def inject(self, platform: "Platform") -> None:
+        if self.executed:
+            raise AttackError("shellcode already executed")
+        if self.host not in platform.all_task_names:
+            raise AttackError(f"host task {self.host!r} is not running")
+        if self.disable_aslr:
+            platform.kernel.sysctl_write(RANDOMIZE_VA_SPACE, 0)
+        if self.spawn_shell:
+            platform.processes.spawn_shell()
+            # Spawning the shell replaces the host's image: the host's
+            # periodic jobs are gone for good.
+            platform.processes.kill(self.host)
+        self.executed = True

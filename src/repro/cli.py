@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+A small operational front-end so the library is usable without writing
+Python — the workflow a deployment would actually script:
+
+    # collect normal behaviour and train a detector
+    python -m repro.cli train --runs 4 --intervals 200 --out detector.npz
+
+    # score a fresh normal run against it
+    python -m repro.cli monitor --detector detector.npz --intervals 100
+
+    # replay one of the paper's attack scenarios and score it
+    python -m repro.cli attack --detector detector.npz --scenario rootkit
+
+    # inspect a single simulated heat map
+    python -m repro.cli heatmap --interval-index 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .attacks import AppLaunchAttack, ShellcodeAttack, SyscallHijackRootkit
+from .learn.detector import MhmDetector
+from .pipeline.scenario import ScenarioRunner
+from .pipeline.training import collect_training_data, train_detector
+from .sim.platform import Platform, PlatformConfig
+from .viz.ascii import render_heatmap, render_series
+from .viz.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS = {
+    "app-launch": lambda: AppLaunchAttack(),
+    "shellcode": lambda: ShellcodeAttack(),
+    "rootkit": lambda: SyscallHijackRootkit(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory Heat Map anomaly detection (DAC 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="collect normal MHMs and train a detector")
+    train.add_argument("--runs", type=int, default=4, help="independent boots")
+    train.add_argument(
+        "--intervals", type=int, default=200, help="MHMs collected per boot"
+    )
+    train.add_argument(
+        "--validation", type=int, default=200, help="held-out MHMs for thresholds"
+    )
+    train.add_argument("--gaussians", type=int, default=5, help="GMM components J")
+    train.add_argument("--restarts", type=int, default=5, help="EM restarts")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", required=True, help="output .npz path")
+
+    monitor = sub.add_parser("monitor", help="score a fresh normal run")
+    monitor.add_argument("--detector", required=True, help="trained .npz detector")
+    monitor.add_argument("--intervals", type=int, default=100)
+    monitor.add_argument("--seed", type=int, default=12345)
+    monitor.add_argument("--quantile", type=float, default=1.0, help="theta_p (%%)")
+
+    attack = sub.add_parser("attack", help="replay a paper scenario and score it")
+    attack.add_argument("--detector", required=True)
+    attack.add_argument(
+        "--scenario", choices=sorted(_SCENARIOS), default="rootkit"
+    )
+    attack.add_argument("--pre", type=int, default=100)
+    attack.add_argument("--during", type=int, default=100)
+    attack.add_argument("--seed", type=int, default=54321)
+    attack.add_argument("--quantile", type=float, default=1.0)
+
+    heatmap = sub.add_parser("heatmap", help="render one simulated MHM")
+    heatmap.add_argument("--interval-index", type=int, default=0)
+    heatmap.add_argument("--seed", type=int, default=2015)
+    heatmap.add_argument("--width", type=int, default=92)
+
+    return parser
+
+
+def _cmd_train(args) -> int:
+    data = collect_training_data(
+        PlatformConfig(),
+        runs=args.runs,
+        intervals_per_run=args.intervals,
+        validation_intervals=args.validation,
+        base_seed=100 + args.seed,
+    )
+    detector = train_detector(
+        data,
+        num_gaussians=args.gaussians,
+        em_restarts=args.restarts,
+        seed=args.seed,
+    )
+    detector.save(args.out)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["training MHMs", data.num_training],
+                ["validation MHMs", data.num_validation],
+                ["eigenmemories L'", detector.num_eigenmemories_],
+                ["variance retained", f"{detector.eigenmemory.retained_variance_:.4%}"],
+                ["GMM components J", detector.num_gaussians],
+                ["theta_1 (log10)", f"{detector.log10_threshold(1.0):.2f}"],
+                ["saved to", args.out],
+            ],
+            title="trained detector",
+        )
+    )
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    detector = MhmDetector.load(args.detector)
+    platform = Platform(PlatformConfig(seed=args.seed))
+    series = platform.collect_intervals(args.intervals)
+    densities = detector.log10_series(series)
+    flags = detector.classify_series(series, p_percent=args.quantile)
+    print(
+        render_series(
+            densities,
+            thresholds={"theta": detector.log10_threshold(args.quantile)},
+            height=12,
+            width=90,
+        )
+    )
+    print(
+        f"{int(flags.sum())} of {len(flags)} intervals flagged "
+        f"({flags.mean():.1%}) at theta_{args.quantile:g}"
+    )
+    return 0 if flags.mean() < 0.5 else 1
+
+
+def _cmd_attack(args) -> int:
+    detector = MhmDetector.load(args.detector)
+    platform = Platform(PlatformConfig(seed=args.seed))
+    result = ScenarioRunner(platform).run(
+        _SCENARIOS[args.scenario](),
+        pre_intervals=args.pre,
+        attack_intervals=args.during,
+    )
+    densities = detector.log10_series(result.series)
+    flags = detector.classify_series(result.series, p_percent=args.quantile)
+    inject = result.attack_interval
+    print(
+        render_series(
+            densities,
+            thresholds={"theta": detector.log10_threshold(args.quantile)},
+            events={"attack": inject},
+            height=12,
+            width=90,
+        )
+    )
+    pre_fpr = float(flags[:inject].mean()) if inject else 0.0
+    post_rate = float(flags[inject:].mean())
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["scenario", args.scenario],
+                ["attack interval", inject],
+                ["pre-attack FPR", f"{pre_fpr:.1%}"],
+                ["post-attack flag rate", f"{post_rate:.1%}"],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_heatmap(args) -> int:
+    platform = Platform(PlatformConfig(seed=args.seed))
+    series = platform.collect_intervals(args.interval_index + 1)
+    print(render_heatmap(series[args.interval_index], width=args.width, log_scale=True))
+    return 0
+
+
+_HANDLERS = {
+    "train": _cmd_train,
+    "monitor": _cmd_monitor,
+    "attack": _cmd_attack,
+    "heatmap": _cmd_heatmap,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

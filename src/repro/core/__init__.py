@@ -1,0 +1,7 @@
+"""Core data structures: the Memory Heat Map and its region spec."""
+
+from .mhm import MemoryHeatMap
+from .series import HeatMapSeries
+from .spec import HeatMapSpec
+
+__all__ = ["HeatMapSpec", "MemoryHeatMap", "HeatMapSeries"]

@@ -1,0 +1,134 @@
+"""Set-associative cache models for the placement ablation.
+
+The paper snoops *between the core and the L1 cache* "because otherwise
+we would lose memory access information due to cache hit" (Section 3.1)
+— and its Limitation section (5.5) discusses moving the Memometer to
+the shared cache or bus, predicting a modest accuracy drop.  These LRU
+cache models let us quantify that: a :class:`CacheFilter` sits between
+the kernel's burst stream and a downstream probe and forwards only the
+accesses that *miss*, which is what a snoop point below the cache would
+see.
+
+The filter collapses weights: within a burst, repeated fetches of the
+same line hit after the first touch, so a loop body that the pre-L1
+snoop counts ``k`` times appears at most once per burst downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.trace import AccessBurst, TraceProbe
+
+__all__ = ["CacheConfig", "SetAssociativeCache", "CacheFilter", "L1_CONFIG", "L2_CONFIG"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways * line size")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+
+#: The prototype's per-core L1 instruction cache: 32 KB (Section 5.1).
+L1_CONFIG = CacheConfig(size_bytes=32 * 1024, ways=4)
+#: The shared unified L2: 512 KB (Section 5.1).
+L2_CONFIG = CacheConfig(size_bytes=512 * 1024, ways=8)
+
+
+class SetAssociativeCache:
+    """A plain LRU set-associative cache over line addresses."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        # One MRU-ordered list of line tags per set.
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch one address; returns True on hit."""
+        line = address >> self.config.line_shift
+        set_index = line % self.config.num_sets
+        ways = self._sets[set_index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(line)
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+        return False
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheFilter:
+    """Forwards only cache *misses* to a downstream probe.
+
+    Models a Memometer placed below one or more cache levels.  For a
+    post-L2 placement, chain two filters::
+
+        kernel -> CacheFilter(L1) -> CacheFilter(L2) -> memometer
+
+    Within a burst, each line is looked up once (its first touch); the
+    burst's weights — repeated executions of the same code — are
+    collapsed to a single downstream access per missing line, which is
+    precisely the information loss the paper warns about.
+    """
+
+    def __init__(self, cache: SetAssociativeCache, downstream: TraceProbe):
+        self.cache = cache
+        self.downstream = downstream
+
+    def observe_burst(self, burst: AccessBurst) -> None:
+        shift = self.cache.config.line_shift
+        lines = np.asarray(burst.addresses) >> shift
+        # First-touch order of unique lines within the burst.
+        _, first_positions = np.unique(lines, return_index=True)
+        missed_addresses = []
+        for pos in np.sort(first_positions):
+            address = int(burst.addresses[pos])
+            if not self.cache.access(address):
+                missed_addresses.append(address)
+        if not missed_addresses:
+            return
+        addresses = np.asarray(missed_addresses, dtype=np.int64)
+        self.downstream.observe_burst(
+            AccessBurst(
+                time_ns=burst.time_ns,
+                addresses=addresses,
+                weights=np.ones_like(addresses),
+                kind=burst.kind,
+                core=burst.core,
+            )
+        )

@@ -1,0 +1,199 @@
+"""Baseline detectors the paper argues against.
+
+Section 1 dismisses two alternatives to the MHM approach and Section
+5.3 (Figure 9) demonstrates one of them failing:
+
+* **traffic volume** — "we could monitor the amount of memory traffic.
+  However, it could abstract away from the detection of small, abnormal
+  variations."  Figure 9 shows exactly this: the rootkit's post-load
+  behaviour is invisible in the per-interval access totals.
+* **exact sequences / exhaustive similarity** — tracking the exact
+  address sequence (or comparing a new MHM against *every* training
+  MHM) "requires a prohibitive amount of storage not to mention
+  excessive computation times".
+
+These baselines make the comparison concrete and are exercised by the
+ablation benchmark A6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.mhm import MemoryHeatMap
+from ..core.series import HeatMapSeries
+
+__all__ = [
+    "TrafficVolumeDetector",
+    "HotCellSetDetector",
+    "NearestNeighborDetector",
+]
+
+MapsLike = Union[HeatMapSeries, np.ndarray]
+
+
+def _volumes(data: MapsLike) -> np.ndarray:
+    if isinstance(data, HeatMapSeries):
+        return data.traffic_volumes().astype(np.float64)
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    return matrix.sum(axis=1)
+
+
+def _matrix(data: MapsLike) -> np.ndarray:
+    if isinstance(data, HeatMapSeries):
+        return data.matrix()
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    return matrix
+
+
+def _one_vector(heat_map: Union[MemoryHeatMap, np.ndarray]) -> np.ndarray:
+    if isinstance(heat_map, MemoryHeatMap):
+        return heat_map.as_vector()
+    return np.asarray(heat_map, dtype=np.float64)
+
+
+class TrafficVolumeDetector:
+    """Two-sided quantile test on per-interval total access counts.
+
+    An interval is anomalous when its traffic volume falls outside the
+    ``[p, 100 - p]`` percentile band of the normal set — the strongest
+    reasonable version of "monitor the amount of memory traffic".
+    """
+
+    def __init__(self, p_percent: float = 0.5):
+        if not 0.0 < p_percent < 50.0:
+            raise ValueError("p_percent must be in (0, 50)")
+        self.p_percent = p_percent
+        self.low_: Optional[float] = None
+        self.high_: Optional[float] = None
+
+    def fit(self, training: MapsLike) -> "TrafficVolumeDetector":
+        volumes = _volumes(training)
+        self.low_ = float(np.quantile(volumes, self.p_percent / 100.0))
+        self.high_ = float(np.quantile(volumes, 1.0 - self.p_percent / 100.0))
+        return self
+
+    def is_anomalous(self, heat_map: Union[MemoryHeatMap, np.ndarray]) -> bool:
+        self._require_fitted()
+        volume = float(_one_vector(heat_map).sum())
+        return volume < self.low_ or volume > self.high_
+
+    def classify_series(self, series: MapsLike) -> np.ndarray:
+        self._require_fitted()
+        volumes = _volumes(series)
+        return (volumes < self.low_) | (volumes > self.high_)
+
+    def _require_fitted(self) -> None:
+        if self.low_ is None:
+            raise RuntimeError("TrafficVolumeDetector has not been fitted")
+
+
+class HotCellSetDetector:
+    """Pattern matching on the set of top-K hottest cells.
+
+    Training memorises every observed top-K hot-cell signature; a test
+    MHM is anomalous when its signature differs from *every* stored one
+    in more than ``tolerance`` cells.  Cheap, interpretable — and blind
+    to anomalies that only redistribute heat *within* the usual hot set.
+    """
+
+    def __init__(self, top_k: int = 32, tolerance: int = 2):
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self.top_k = top_k
+        self.tolerance = tolerance
+        self.signatures_: Optional[list[frozenset]] = None
+
+    def _signature(self, vector: np.ndarray) -> frozenset:
+        k = min(self.top_k, len(vector))
+        return frozenset(int(i) for i in np.argsort(vector)[-k:])
+
+    def fit(self, training: MapsLike) -> "HotCellSetDetector":
+        matrix = _matrix(training)
+        unique: dict[frozenset, None] = {}
+        for row in matrix:
+            unique.setdefault(self._signature(row))
+        self.signatures_ = list(unique)
+        return self
+
+    def is_anomalous(self, heat_map: Union[MemoryHeatMap, np.ndarray]) -> bool:
+        self._require_fitted()
+        signature = self._signature(_one_vector(heat_map))
+        allowed = self.tolerance
+        for stored in self.signatures_:
+            if len(signature ^ stored) <= 2 * allowed:
+                return False
+        return True
+
+    def classify_series(self, series: MapsLike) -> np.ndarray:
+        return np.array(
+            [self.is_anomalous(row) for row in _matrix(series)], dtype=bool
+        )
+
+    @property
+    def num_signatures(self) -> int:
+        self._require_fitted()
+        return len(self.signatures_)
+
+    def _require_fitted(self) -> None:
+        if self.signatures_ is None:
+            raise RuntimeError("HotCellSetDetector has not been fitted")
+
+
+class NearestNeighborDetector:
+    """Distance to the nearest training MHM — the exhaustive strawman.
+
+    Section 4.1: "it is computationally prohibitive to calculate the
+    similarity against every known MHM".  This detector does exactly
+    that: a test MHM is anomalous when its nearest-neighbour Euclidean
+    distance exceeds the calibrated quantile of leave-one-out distances
+    in the training set.  Accurate, but O(N·L) per decision — the
+    benchmark A6 quantifies the cost gap against the paper's method.
+    """
+
+    def __init__(self, p_percent: float = 99.5):
+        if not 50.0 < p_percent < 100.0:
+            raise ValueError("p_percent must be in (50, 100)")
+        self.p_percent = p_percent
+        self.training_: Optional[np.ndarray] = None
+        self.threshold_: Optional[float] = None
+
+    def fit(self, training: MapsLike) -> "NearestNeighborDetector":
+        matrix = _matrix(training)
+        if len(matrix) < 2:
+            raise ValueError("need at least two training heat maps")
+        self.training_ = matrix
+        # Leave-one-out nearest-neighbour distances for calibration.
+        sq_norms = np.einsum("nd,nd->n", matrix, matrix)
+        gram = matrix @ matrix.T
+        distances_sq = sq_norms[:, np.newaxis] + sq_norms[np.newaxis, :] - 2 * gram
+        np.fill_diagonal(distances_sq, np.inf)
+        nn = np.sqrt(np.maximum(0.0, distances_sq.min(axis=1)))
+        self.threshold_ = float(np.quantile(nn, self.p_percent / 100.0))
+        return self
+
+    def nearest_distance(self, heat_map: Union[MemoryHeatMap, np.ndarray]) -> float:
+        self._require_fitted()
+        vector = _one_vector(heat_map)
+        diffs = self.training_ - vector
+        return float(np.sqrt(np.einsum("nd,nd->n", diffs, diffs).min()))
+
+    def is_anomalous(self, heat_map: Union[MemoryHeatMap, np.ndarray]) -> bool:
+        return self.nearest_distance(heat_map) > self.threshold_
+
+    def classify_series(self, series: MapsLike) -> np.ndarray:
+        return np.array(
+            [self.is_anomalous(row) for row in _matrix(series)], dtype=bool
+        )
+
+    def _require_fitted(self) -> None:
+        if self.training_ is None:
+            raise RuntimeError("NearestNeighborDetector has not been fitted")

@@ -1,0 +1,93 @@
+"""Multivariate Gaussian density utilities.
+
+Shared by the GMM (Section 4.3) and its Figueiredo–Jain extension.
+Densities are computed through Cholesky factors for numerical
+stability; covariance matrices are regularised with a small ridge so EM
+cannot collapse a component onto a single sample — a real hazard here,
+because the reduced MHMs of a predictable real-time system form very
+tight clusters.
+
+Note on the paper's Eq. (2): as printed it omits the inverse on Σ and
+the reciprocal on the normaliser; we implement the standard (correct)
+multivariate normal density
+
+    f(x | μ, Σ) = (2π)^{-L/2} |Σ|^{-1/2} exp(-½ (x-μ)ᵀ Σ⁻¹ (x-μ)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "regularized_cholesky",
+    "mvn_logpdf_from_cholesky",
+    "mvn_logpdf",
+    "LOG_2PI",
+]
+
+LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def regularized_cholesky(covariance: np.ndarray, ridge: float = 1e-6) -> np.ndarray:
+    """Lower Cholesky factor of ``covariance + ridge·I``.
+
+    If the factorisation still fails (badly conditioned input), the
+    ridge is escalated by powers of ten up to a relative cap before
+    giving up.
+    """
+    covariance = np.asarray(covariance, dtype=np.float64)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise ValueError("covariance must be a square matrix")
+    dim = covariance.shape[0]
+    scale = max(1.0, float(np.trace(covariance)) / dim)
+    attempt = ridge * scale
+    for _ in range(12):
+        try:
+            return np.linalg.cholesky(covariance + attempt * np.eye(dim))
+        except np.linalg.LinAlgError:
+            attempt *= 10.0
+    raise np.linalg.LinAlgError(
+        "covariance matrix is not positive definite even after regularisation"
+    )
+
+
+def mvn_logpdf_from_cholesky(
+    x: np.ndarray, mean: np.ndarray, cholesky_factor: np.ndarray
+) -> np.ndarray:
+    """Log density of N(mean, L·Lᵀ) at rows of ``x``.
+
+    Parameters
+    ----------
+    x:
+        Points, shape ``(N, D)`` (or ``(D,)`` for a single point).
+    mean:
+        Component mean, shape ``(D,)``.
+    cholesky_factor:
+        Lower-triangular Cholesky factor of the covariance.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    dim = x.shape[1]
+    centered = x - mean
+    # Solve L z = (x - μ)ᵀ  →  zᵀz = (x-μ)ᵀ Σ⁻¹ (x-μ)
+    solved = _solve_lower(cholesky_factor, centered.T).T
+    mahalanobis_sq = np.einsum("nd,nd->n", solved, solved)
+    log_det = 2.0 * np.log(np.diag(cholesky_factor)).sum()
+    return -0.5 * (dim * LOG_2PI + log_det + mahalanobis_sq)
+
+
+def _solve_lower(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Forward substitution ``L z = rhs`` via scipy when available."""
+    try:
+        from scipy.linalg import solve_triangular
+
+        return solve_triangular(lower, rhs, lower=True, check_finite=False)
+    except ImportError:  # pragma: no cover - scipy is a dependency
+        return np.linalg.solve(lower, rhs)
+
+
+def mvn_logpdf(
+    x: np.ndarray, mean: np.ndarray, covariance: np.ndarray, ridge: float = 1e-9
+) -> np.ndarray:
+    """Log density of N(mean, covariance) at rows of ``x``."""
+    factor = regularized_cholesky(covariance, ridge=ridge)
+    return mvn_logpdf_from_cholesky(x, np.asarray(mean, dtype=np.float64), factor)

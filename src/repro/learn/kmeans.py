@@ -1,0 +1,108 @@
+"""k-means clustering (used to initialise GMM-EM).
+
+A small, dependency-free Lloyd's algorithm with k-means++ seeding.  EM
+for Gaussian mixtures is notoriously sensitive to initialisation; the
+standard practice (which we follow, as the paper's 10-restart protocol
+implies) is to seed each EM restart from a k-means solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans_plus_plus_init", "kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means run."""
+
+    centers: np.ndarray  # (k, D)
+    labels: np.ndarray  # (N,)
+    inertia: float  # sum of squared distances to assigned centers
+    iterations: int
+    converged: bool
+
+
+def _squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, (N, k)."""
+    diff = points[:, np.newaxis, :] - centers[np.newaxis, :, :]
+    return np.einsum("nkd,nkd->nk", diff, diff)
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding [Arthur & Vassilvitskii 2007]."""
+    n = len(points)
+    if k > n:
+        raise ValueError(f"cannot seed {k} centers from {n} points")
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    centers[0] = points[rng.integers(n)]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with a center; pick randomly.
+            centers[i] = points[rng.integers(n)]
+            continue
+        probabilities = closest_sq / total
+        choice = rng.choice(n, p=probabilities)
+        centers[i] = points[choice]
+        closest_sq = np.minimum(
+            closest_sq, np.sum((points - centers[i]) ** 2, axis=1)
+        )
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Empty clusters are re-seeded with the point farthest from its
+    assigned center, so the result always has exactly ``k`` centers.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be an (N, D) matrix")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    centers = kmeans_plus_plus_init(points, k, rng)
+    labels = np.zeros(len(points), dtype=np.int64)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = _squared_distances(points, centers)
+        labels = distances.argmin(axis=1)
+        new_centers = np.empty_like(centers)
+        for j in range(k):
+            members = points[labels == j]
+            if len(members) == 0:
+                farthest = distances.min(axis=1).argmax()
+                new_centers[j] = points[farthest]
+            else:
+                new_centers[j] = members.mean(axis=0)
+        shift = np.sqrt(((new_centers - centers) ** 2).sum(axis=1)).max()
+        centers = new_centers
+        if shift <= tolerance:
+            converged = True
+            break
+
+    distances = _squared_distances(points, centers)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(len(points)), labels].sum())
+    return KMeansResult(
+        centers=centers,
+        labels=labels,
+        inertia=inertia,
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,41 @@
+"""Experiment pipeline: training protocol and scenario execution."""
+
+from .experiments import (
+    PAPER_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    ReferenceArtifacts,
+    ScenarioOutcome,
+    clear_artifact_cache,
+    get_reference_artifacts,
+    run_app_launch_experiment,
+    run_rootkit_experiment,
+    run_scenario_experiment,
+    run_shellcode_experiment,
+)
+from .monitoring import Alarm, MonitoringReport, OnlineMonitor
+from .scenario import ScenarioEvent, ScenarioResult, ScenarioRunner
+from .training import TrainingData, collect_training_data, train_detector
+
+__all__ = [
+    "TrainingData",
+    "collect_training_data",
+    "train_detector",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "ScenarioEvent",
+    "OnlineMonitor",
+    "MonitoringReport",
+    "Alarm",
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "ReferenceArtifacts",
+    "ScenarioOutcome",
+    "get_reference_artifacts",
+    "clear_artifact_cache",
+    "run_scenario_experiment",
+    "run_app_launch_experiment",
+    "run_shellcode_experiment",
+    "run_rootkit_experiment",
+]

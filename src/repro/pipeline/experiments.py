@@ -1,0 +1,277 @@
+"""Canonical experiment harness for the paper's evaluation section.
+
+Each figure/table of Section 5 has a function here that builds the
+workload, trains (or reuses) the reference detector and returns a
+structured outcome that the benchmarks print and the examples plot.
+Two scales are provided:
+
+* ``PAPER_SCALE`` — the full Section 5.2 protocol (10 × 300 training
+  MHMs, 500 validation MHMs, full-length scenarios);
+* ``QUICK_SCALE`` — a reduced version for unit/integration tests.
+
+Training is expensive, so reference artifacts are memoised per
+(scale, config) within the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..core.series import HeatMapSeries
+from ..learn.detector import MhmDetector
+from ..learn.metrics import detection_latency
+from ..sim.platform import Platform, PlatformConfig
+from .scenario import ScenarioResult, ScenarioRunner
+from .training import TrainingData, collect_training_data, train_detector
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "ReferenceArtifacts",
+    "get_reference_artifacts",
+    "clear_artifact_cache",
+    "ScenarioOutcome",
+    "run_scenario_experiment",
+    "run_app_launch_experiment",
+    "run_shellcode_experiment",
+    "run_rootkit_experiment",
+]
+
+LN10 = float(np.log(10.0))
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing of the training protocol and the scenario runs."""
+
+    name: str
+    training_runs: int
+    intervals_per_run: int
+    validation_intervals: int
+    pre_attack_intervals: int
+    attack_intervals: int
+    post_attack_intervals: int
+    em_restarts: int
+
+    @property
+    def total_training(self) -> int:
+        return self.training_runs * self.intervals_per_run
+
+
+#: Section 5.2/5.3 protocol: 3,000 training MHMs; Figure 7's 500-interval
+#: trace (250 normal, launch, ~170 active, exit, rest normal); Figures 8
+#: and 10 use 400-interval traces with injection after the 250th.
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    training_runs=10,
+    intervals_per_run=300,
+    validation_intervals=500,
+    pre_attack_intervals=250,
+    attack_intervals=150,
+    post_attack_intervals=100,
+    em_restarts=10,
+)
+
+#: Reduced sizing for tests (same shapes, ~10x faster).
+QUICK_SCALE = ExperimentScale(
+    name="quick",
+    training_runs=3,
+    intervals_per_run=120,
+    validation_intervals=120,
+    pre_attack_intervals=40,
+    attack_intervals=40,
+    post_attack_intervals=20,
+    em_restarts=3,
+)
+
+
+@dataclass
+class ReferenceArtifacts:
+    """A trained detector plus the data it was trained on."""
+
+    scale: ExperimentScale
+    config: PlatformConfig
+    data: TrainingData
+    detector: MhmDetector
+
+
+_ARTIFACT_CACHE: dict = {}
+
+
+def get_reference_artifacts(
+    scale: ExperimentScale = PAPER_SCALE,
+    config: Optional[PlatformConfig] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> ReferenceArtifacts:
+    """Train (or fetch the memoised) reference detector for a scale."""
+    config = config or PlatformConfig()
+    key = (scale.name, config, seed)
+    if use_cache and key in _ARTIFACT_CACHE:
+        return _ARTIFACT_CACHE[key]
+    data = collect_training_data(
+        config,
+        runs=scale.training_runs,
+        intervals_per_run=scale.intervals_per_run,
+        validation_intervals=scale.validation_intervals,
+        base_seed=100 + seed,
+    )
+    detector = train_detector(data, em_restarts=scale.em_restarts, seed=seed)
+    artifacts = ReferenceArtifacts(
+        scale=scale, config=config, data=data, detector=detector
+    )
+    if use_cache:
+        _ARTIFACT_CACHE[key] = artifacts
+    return artifacts
+
+
+def clear_artifact_cache() -> None:
+    _ARTIFACT_CACHE.clear()
+
+
+@dataclass
+class ScenarioOutcome:
+    """A scored scenario run: everything a figure needs."""
+
+    scenario: ScenarioResult
+    log10_densities: np.ndarray
+    log10_thresholds: dict[float, float]
+    ground_truth: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.ground_truth is None:
+            self.ground_truth = self.scenario.ground_truth()
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the figures' captions
+    # ------------------------------------------------------------------
+    def flags(self, p_percent: float) -> np.ndarray:
+        theta = self.log10_thresholds[p_percent]
+        return self.log10_densities < theta
+
+    def pre_attack_false_positives(self, p_percent: float) -> int:
+        """Abnormal verdicts before injection (paper: 0 at θ_0.5, 2 at θ_1)."""
+        start = self.scenario.attack_interval
+        return int(self.flags(p_percent)[:start].sum())
+
+    def pre_attack_fpr(self, p_percent: float) -> float:
+        start = self.scenario.attack_interval
+        if start == 0:
+            return 0.0
+        return self.pre_attack_false_positives(p_percent) / start
+
+    def attack_detection_rate(self, p_percent: float) -> float:
+        """Fraction of attack-active intervals flagged."""
+        mask = self.ground_truth
+        if not mask.any():
+            return 0.0
+        return float(self.flags(p_percent)[mask].mean())
+
+    def post_revert_fpr(self, p_percent: float) -> float:
+        """FPR after the attack is reverted (Figure 7's recovery)."""
+        stop = self.scenario.revert_interval
+        if stop is None:
+            return 0.0
+        tail = self.flags(p_percent)[stop + 1 :]
+        return float(tail.mean()) if tail.size else 0.0
+
+    def detection_latency_intervals(self, p_percent: float) -> int:
+        return detection_latency(
+            self.flags(p_percent), self.scenario.attack_interval
+        )
+
+    def traffic_volumes(self) -> np.ndarray:
+        return self.scenario.series.traffic_volumes()
+
+    def summary(self) -> dict:
+        return {
+            "scenario": self.scenario.name,
+            "intervals": len(self.scenario.series),
+            "attack_interval": self.scenario.attack_interval,
+            "revert_interval": self.scenario.revert_interval,
+            "pre_fp_theta_0.5": self.pre_attack_false_positives(0.5),
+            "pre_fp_theta_1": self.pre_attack_false_positives(1.0),
+            "detection_rate_theta_0.5": self.attack_detection_rate(0.5),
+            "detection_rate_theta_1": self.attack_detection_rate(1.0),
+            "latency_theta_1": self.detection_latency_intervals(1.0),
+        }
+
+
+def run_scenario_experiment(
+    attack: Attack,
+    artifacts: ReferenceArtifacts,
+    pre_intervals: Optional[int] = None,
+    attack_intervals: Optional[int] = None,
+    post_intervals: int = 0,
+    scenario_seed: int = 999,
+) -> ScenarioOutcome:
+    """Run an attack on a *fresh* platform and score it with the
+    reference detector (the platform seed differs from every training
+    seed — the detector has never seen this boot)."""
+    scale = artifacts.scale
+    pre = scale.pre_attack_intervals if pre_intervals is None else pre_intervals
+    during = scale.attack_intervals if attack_intervals is None else attack_intervals
+
+    platform = Platform(artifacts.config.with_seed(scenario_seed))
+    runner = ScenarioRunner(platform)
+    result = runner.run(
+        attack,
+        pre_intervals=pre,
+        attack_intervals=during,
+        post_intervals=post_intervals,
+    )
+    detector = artifacts.detector
+    return ScenarioOutcome(
+        scenario=result,
+        log10_densities=detector.log10_series(result.series),
+        log10_thresholds={
+            q: detector.log10_threshold(q) for q in detector.thresholds.quantiles
+        },
+    )
+
+
+def run_app_launch_experiment(
+    artifacts: ReferenceArtifacts, scenario_seed: int = 999
+) -> ScenarioOutcome:
+    """Figure 7: qsort launched, later exited (500-interval trace)."""
+    from ..attacks.app_launch import AppLaunchAttack
+
+    scale = artifacts.scale
+    return run_scenario_experiment(
+        AppLaunchAttack(),
+        artifacts,
+        post_intervals=scale.post_attack_intervals,
+        scenario_seed=scenario_seed,
+    )
+
+
+def run_shellcode_experiment(
+    artifacts: ReferenceArtifacts, scenario_seed: int = 999
+) -> ScenarioOutcome:
+    """Figure 8: ASLR-disabling shellcode kills bitcount (no recovery)."""
+    from ..attacks.shellcode import ShellcodeAttack
+
+    return run_scenario_experiment(
+        ShellcodeAttack(), artifacts, scenario_seed=scenario_seed
+    )
+
+
+def run_rootkit_experiment(
+    artifacts: ReferenceArtifacts,
+    scenario_seed: int = 999,
+    extra_latency_ns: int = 25_000,
+) -> ScenarioOutcome:
+    """Figures 9 + 10: LKM hijacks ``read``; volume stays normal, MHM
+    densities show the load spike and intermittent post-hijack drift."""
+    from ..attacks.rootkit import SyscallHijackRootkit
+
+    return run_scenario_experiment(
+        SyscallHijackRootkit(extra_latency_ns=extra_latency_ns),
+        artifacts,
+        scenario_seed=scenario_seed,
+    )

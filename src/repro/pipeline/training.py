@@ -1,0 +1,99 @@
+"""Training-data collection and detector training (Section 5.2).
+
+The paper's protocol: "we ran the system and collected 10 sets of
+normal MHMs each of which spans 3 seconds", giving 3,000 MHMs at the
+10 ms monitoring interval; a further normal set is collected for
+threshold calibration.  :func:`collect_training_data` reproduces this
+with independently seeded platform boots (each run is a fresh boot, as
+in the paper), and :func:`train_detector` applies the learning recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.series import HeatMapSeries
+from ..learn.detector import MhmDetector
+from ..sim.platform import Platform, PlatformConfig
+
+__all__ = ["TrainingData", "collect_training_data", "train_detector"]
+
+
+@dataclass
+class TrainingData:
+    """Normal MHMs for learning plus a held-out set for θ calibration."""
+
+    training: HeatMapSeries
+    validation: HeatMapSeries
+
+    @property
+    def num_training(self) -> int:
+        return len(self.training)
+
+    @property
+    def num_validation(self) -> int:
+        return len(self.validation)
+
+
+def collect_training_data(
+    config: Optional[PlatformConfig] = None,
+    runs: int = 10,
+    intervals_per_run: int = 300,
+    validation_intervals: int = 500,
+    base_seed: int = 100,
+) -> TrainingData:
+    """Collect normal MHMs from repeated fresh boots.
+
+    Parameters
+    ----------
+    config:
+        Platform configuration (defaults to the paper's prototype).
+    runs, intervals_per_run:
+        Number of independent runs and MHMs per run.  The paper's
+        defaults: 10 runs × 3 s / 10 ms = 300 MHMs each → 3,000 total.
+    validation_intervals:
+        Size of the separate normal set used for threshold calibration
+        ("we collected another set of normal MHMs").
+    base_seed:
+        Seeds run ``i`` with ``base_seed + i``; the validation run uses
+        ``base_seed + runs``.
+    """
+    if runs < 1 or intervals_per_run < 1:
+        raise ValueError("runs and intervals_per_run must be positive")
+    config = config or PlatformConfig()
+
+    training = HeatMapSeries(config.spec)
+    for run in range(runs):
+        platform = Platform(config.with_seed(base_seed + run))
+        training.extend(platform.collect_intervals(intervals_per_run))
+
+    validation_platform = Platform(config.with_seed(base_seed + runs))
+    validation = validation_platform.collect_intervals(validation_intervals)
+    return TrainingData(training=training, validation=validation)
+
+
+def train_detector(
+    data: TrainingData,
+    num_eigenmemories: Optional[int] = None,
+    variance_target: float = 0.9999,
+    num_gaussians: int = 5,
+    em_restarts: int = 10,
+    seed: int = 0,
+    **detector_kwargs,
+) -> MhmDetector:
+    """Train the paper's detector on collected normal data.
+
+    Defaults follow Section 5.2 exactly: automatic L′ at 99.99 %
+    retained variance, J = 5, 10 EM restarts, θ calibrated on the
+    held-out validation set.
+    """
+    detector = MhmDetector(
+        num_eigenmemories=num_eigenmemories,
+        variance_target=variance_target,
+        num_gaussians=num_gaussians,
+        em_restarts=em_restarts,
+        seed=seed,
+        **detector_kwargs,
+    )
+    return detector.fit(data.training, data.validation)

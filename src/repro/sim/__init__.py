@@ -1,0 +1,25 @@
+"""The full-system simulation substrate (the paper used Simics)."""
+
+from .devices import NetworkDevice, NetworkDeviceConfig
+from .engine import NS_PER_MS, NS_PER_SEC, NS_PER_US, Simulator
+from .platform import Platform, PlatformConfig
+from .smp import partition_tasks, per_core_utilization
+from .task import SyscallUse, TaskDefinition
+from .trace import AccessBurst, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "Platform",
+    "PlatformConfig",
+    "TaskDefinition",
+    "SyscallUse",
+    "AccessBurst",
+    "TraceRecorder",
+    "partition_tasks",
+    "per_core_utilization",
+    "NetworkDevice",
+    "NetworkDeviceConfig",
+]

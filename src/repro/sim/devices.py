@@ -1,0 +1,102 @@
+"""Interrupt-driven I/O devices.
+
+The paper's Limitation section (5.5): "Some systems may exhibit highly
+unpredictable, but yet legitimate, memory usage caused by, for example,
+network activities or user interactions.  In these cases, our current
+model may alarm many false positives."
+
+This module supplies that stressor as a first-class platform component:
+a :class:`NetworkDevice` raises receive interrupts as a Poisson process
+(optionally in bursts, modelling packet trains), each of which runs the
+kernel's net-RX path (``kernel.net_rx``) — IRQ entry, softirq, protocol
+handlers — inside the monitored region.  Because arrivals are
+aperiodic, the per-interval MHM contribution varies in a way no
+training set fully captures, which is exactly what the A9 ablation
+feeds to the global-vs-local-feature comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel.kernel import Kernel
+
+__all__ = ["NetworkDeviceConfig", "NetworkDevice"]
+
+
+@dataclass(frozen=True)
+class NetworkDeviceConfig:
+    """Traffic model of one network interface.
+
+    Parameters
+    ----------
+    mean_rate_hz:
+        Mean interrupt-train arrival rate (Poisson process).
+    burst_length_mean:
+        Mean packets per train (geometric); each packet runs one
+        ``kernel.net_rx`` service invocation.
+    core:
+        Monitored core that takes the interrupts.
+    """
+
+    mean_rate_hz: float = 200.0
+    burst_length_mean: float = 2.0
+    core: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_rate_hz <= 0:
+            raise ValueError("mean_rate_hz must be positive")
+        if self.burst_length_mean < 1.0:
+            raise ValueError("burst_length_mean must be >= 1")
+        if self.core < 0:
+            raise ValueError("core must be non-negative")
+
+
+class NetworkDevice:
+    """A Poisson interrupt source wired to the kernel's net-RX path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kernel: "Kernel",
+        config: NetworkDeviceConfig,
+        rng: np.random.Generator,
+    ):
+        self.sim = sim
+        self.kernel = kernel
+        self.config = config
+        self.rng = rng
+        self.interrupts_raised = 0
+        self.packets_received = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the device; the first arrival is scheduled immediately."""
+        if self._started:
+            raise RuntimeError("device already started")
+        self._started = True
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap_s = self.rng.exponential(1.0 / self.config.mean_rate_hz)
+        self.sim.schedule_after(max(1, int(gap_s * 1e9)), self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        self.interrupts_raised += 1
+        packets = 1 + int(self.rng.geometric(1.0 / self.config.burst_length_mean) - 1)
+        for _ in range(packets):
+            self.kernel.run_service("kernel.net_rx", core=self.config.core)
+            self.packets_received += 1
+        self._schedule_next()
+
+    @property
+    def mean_packets_per_interrupt(self) -> float:
+        if self.interrupts_raised == 0:
+            return 0.0
+        return self.packets_received / self.interrupts_raised

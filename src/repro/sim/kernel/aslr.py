@@ -1,0 +1,55 @@
+"""Address-space layout randomisation state.
+
+The paper's Scenario 2 injects the shell-storm #669 shellcode, which
+disables ASLR on Linux/ARM by writing ``0`` to
+``/proc/sys/kernel/randomize_va_space`` and then spawns a shell.  The
+MHM detector never *reads* this state — it sees only the kernel code
+paths the write traverses — but modelling it lets tests assert that the
+attack actually achieved its goal, and lets the process model honour
+the randomise-or-not decision at ``execve`` time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RANDOMIZE_VA_SPACE", "AslrState"]
+
+#: The sysctl path the shellcode writes to.
+RANDOMIZE_VA_SPACE = "kernel/randomize_va_space"
+
+#: Page-aligned randomisation span for user text bases (ARM-ish 8 MB).
+_ASLR_SPAN = 0x0080_0000
+_PAGE = 0x1000
+
+
+@dataclass
+class AslrState:
+    """Kernel ASLR knob plus the mmap-randomisation it controls.
+
+    ``randomize_va_space`` follows the Linux meaning: 0 = off,
+    1 = stacks/mmap, 2 = also heap (the default).
+    """
+
+    randomize_va_space: int = 2
+    change_log: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def enabled(self) -> bool:
+        return self.randomize_va_space > 0
+
+    def sysctl_write(self, value: int, time_ns: int = 0) -> None:
+        """Apply a write to ``/proc/sys/kernel/randomize_va_space``."""
+        if value not in (0, 1, 2):
+            raise ValueError(f"randomize_va_space must be 0, 1 or 2, got {value}")
+        self.change_log.append((time_ns, value))
+        self.randomize_va_space = value
+
+    def randomize_base(self, base: int, rng: np.random.Generator) -> int:
+        """Text base chosen at ``execve`` time under the current policy."""
+        if not self.enabled:
+            return base
+        offset = int(rng.integers(0, _ASLR_SPAN // _PAGE)) * _PAGE
+        return base + offset

@@ -1,0 +1,163 @@
+"""Kernel-service memory footprints.
+
+Section 2's key idea is that "an MHM is a composition of different
+activities in a certain memory region" — each kernel service contributes
+a characteristic *footprint*: the set of function ranges its call graph
+fetches, and how often.  This module models footprints as a list of
+:class:`FootprintStep` (function, mean iteration count, body coverage)
+and compiles them against a :class:`~repro.sim.kernel.layout.KernelLayout`
+into address/weight arrays that can be emitted as
+:class:`~repro.sim.trace.AccessBurst` records.
+
+Per-invocation variation (loop trip counts, data-dependent paths) is
+modelled by jittering each step's iteration count, which is exactly the
+"small variations from one or more of these patterns" the paper's GMM
+absorbs (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .layout import KernelLayout
+
+__all__ = ["FETCH_STRIDE", "FootprintStep", "CompiledFootprint", "FootprintCompiler"]
+
+#: Bytes between sampled fetch addresses inside a function body.  The
+#: MHM granularity is >= 512 B in every experiment, so a 16-byte sample
+#: stride loses nothing while keeping bursts small.
+FETCH_STRIDE = 16
+
+
+@dataclass(frozen=True)
+class FootprintStep:
+    """One function visited by a service's call graph.
+
+    Parameters
+    ----------
+    function:
+        Kernel symbol name, resolved against the layout.  ``None`` when
+        the step is given by an explicit address range instead (used for
+        module-space code, which has no kernel symbol).
+    iterations:
+        Mean number of times the function body executes per invocation.
+    coverage:
+        Fraction of the body fetched (data-dependent early exits).
+    jitter:
+        Relative standard deviation of the iteration count.
+    address, size:
+        Explicit range for symbol-less steps.
+    """
+
+    function: Optional[str]
+    iterations: float = 1.0
+    coverage: float = 1.0
+    jitter: float = 0.10
+    address: Optional[int] = None
+    size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.function is None and (self.address is None or self.size is None):
+            raise ValueError("step needs either a function name or an explicit range")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.size is not None and self.size <= 0:
+            raise ValueError("explicit step size must be positive")
+
+
+class CompiledFootprint:
+    """A footprint resolved to concrete fetch addresses.
+
+    ``sample(rng)`` draws one invocation: the shared address vector plus
+    a weight vector built from per-step jittered iteration counts.
+    ``mean()`` returns the deterministic expected burst, used by tests
+    and by analytical checks.
+    """
+
+    def __init__(
+        self,
+        addresses: np.ndarray,
+        step_lengths: np.ndarray,
+        mean_iterations: np.ndarray,
+        jitters: np.ndarray,
+    ):
+        self.addresses = np.asarray(addresses, dtype=np.int64)
+        self.addresses.setflags(write=False)
+        self.step_lengths = np.asarray(step_lengths, dtype=np.int64)
+        self.mean_iterations = np.asarray(mean_iterations, dtype=np.float64)
+        self.jitters = np.asarray(jitters, dtype=np.float64)
+        if self.step_lengths.sum() != len(self.addresses):
+            raise ValueError("step lengths do not cover the address vector")
+        if not (
+            len(self.step_lengths) == len(self.mean_iterations) == len(self.jitters)
+        ):
+            raise ValueError("per-step arrays must have equal length")
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.step_lengths)
+
+    @property
+    def num_addresses(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def mean_total_accesses(self) -> float:
+        return float((self.step_lengths * self.mean_iterations).sum())
+
+    def sample(
+        self, rng: np.random.Generator, jitter_scale: float = 1.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One invocation: ``(addresses, weights)`` with jittered counts.
+
+        ``jitter_scale`` multiplies every step's jitter; an RTOS-like
+        platform (deterministic loop bounds) uses a scale < 1.
+        """
+        noise = rng.normal(loc=1.0, scale=self.jitters * jitter_scale)
+        iters = np.maximum(1, np.rint(self.mean_iterations * noise)).astype(np.int64)
+        weights = np.repeat(iters, self.step_lengths)
+        return self.addresses, weights
+
+    def mean(self) -> tuple[np.ndarray, np.ndarray]:
+        """The expected (jitter-free) invocation."""
+        iters = np.maximum(1, np.rint(self.mean_iterations)).astype(np.int64)
+        return self.addresses, np.repeat(iters, self.step_lengths)
+
+
+class FootprintCompiler:
+    """Resolves :class:`FootprintStep` lists against a kernel layout."""
+
+    def __init__(self, layout: KernelLayout, stride: int = FETCH_STRIDE):
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.layout = layout
+        self.stride = stride
+
+    def _step_addresses(self, step: FootprintStep) -> np.ndarray:
+        if step.function is not None:
+            fn = self.layout.symbol(step.function)
+            start, size = fn.address, fn.size
+        else:
+            start, size = step.address, step.size  # validated in __post_init__
+        covered = max(self.stride, int(size * step.coverage))
+        covered = min(covered, size)
+        return np.arange(start, start + covered, self.stride, dtype=np.int64)
+
+    def compile(self, steps: Sequence[FootprintStep]) -> CompiledFootprint:
+        """Compile a step list into a reusable :class:`CompiledFootprint`."""
+        if not steps:
+            raise ValueError("footprint must have at least one step")
+        chunks = [self._step_addresses(step) for step in steps]
+        return CompiledFootprint(
+            addresses=np.concatenate(chunks),
+            step_lengths=np.array([len(c) for c in chunks], dtype=np.int64),
+            mean_iterations=np.array([s.iterations for s in steps], dtype=np.float64),
+            jitters=np.array([s.jitter for s in steps], dtype=np.float64),
+        )

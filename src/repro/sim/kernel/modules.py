@@ -1,0 +1,135 @@
+"""Loadable kernel modules.
+
+On ARM Linux, modules are loaded into a dedicated region *below* the
+kernel image (``0xBF000000``) — outside the monitored ``.text`` segment.
+Section 5.3 of the paper leans on this: "LKMs in Linux are loaded onto
+the module memory space that is outside our target region (i.e. .text).
+Thus, the execution of the new read handler does not change the MHMs."
+
+The loader here reproduces both halves of that story:
+
+* ``load()`` emits the (very visible) ``init_module`` footprint — the
+  module *loader* runs inside the monitored kernel text, which is the
+  spike at "Rootkit Launched" in Figures 9 and 10;
+* the loaded module's own code lives in module space, so any footprint
+  steps pointing at it are filtered out by the Memometer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .layout import MODULE_SPACE_BASE, MODULE_SPACE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+__all__ = ["ModuleFunction", "LoadedModule", "ModuleLoader"]
+
+_MODULE_ALIGN = 0x1000
+
+
+@dataclass(frozen=True)
+class ModuleFunction:
+    """A function inside a loaded module's text."""
+
+    name: str
+    address: int
+    size: int
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class LoadedModule:
+    """A module resident in module space."""
+
+    name: str
+    base_address: int
+    size: int
+    functions: list[ModuleFunction] = field(default_factory=list)
+    loaded_at_ns: int = 0
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.size
+
+    def function(self, name: str) -> ModuleFunction:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"module {self.name!r} has no function {name!r}")
+
+
+class ModuleLoader:
+    """Allocates module space and drives the load/unload kernel paths."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self._cursor = MODULE_SPACE_BASE
+        self._loaded: dict[str, LoadedModule] = {}
+
+    def load(
+        self,
+        name: str,
+        size: int,
+        function_names: Optional[list[str]] = None,
+    ) -> LoadedModule:
+        """Load a module: emits the ``init_module`` syscall footprint and
+        carves the module's text out of module space.
+
+        ``function_names`` partitions the module text into named
+        functions (equal sizes) so attacks can reference e.g. the
+        rootkit's ``evil_read`` wrapper.
+        """
+        if name in self._loaded:
+            raise ValueError(f"module {name!r} is already loaded")
+        if size <= 0:
+            raise ValueError("module size must be positive")
+        size = (size + _MODULE_ALIGN - 1) & ~(_MODULE_ALIGN - 1)
+        if self._cursor + size > MODULE_SPACE_BASE + MODULE_SPACE_SIZE:
+            raise MemoryError("module space exhausted")
+
+        base = self._cursor
+        self._cursor += size
+
+        functions: list[ModuleFunction] = []
+        names = function_names or [f"{name}_init"]
+        chunk = size // len(names)
+        for i, fn_name in enumerate(names):
+            fn_size = chunk if i < len(names) - 1 else size - chunk * (len(names) - 1)
+            functions.append(
+                ModuleFunction(name=fn_name, address=base + i * chunk, size=fn_size)
+            )
+
+        module = LoadedModule(
+            name=name,
+            base_address=base,
+            size=size,
+            functions=functions,
+            loaded_at_ns=self._kernel.now,
+        )
+        self._loaded[name] = module
+        # The loader itself runs in monitored kernel text — the spike.
+        self._kernel.invoke_syscall("init_module")
+        return module
+
+    def unload(self, name: str) -> None:
+        """Unload a module (emits the ``delete_module`` footprint)."""
+        if name not in self._loaded:
+            raise KeyError(f"module {name!r} is not loaded")
+        del self._loaded[name]
+        self._kernel.invoke_syscall("delete_module")
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._loaded
+
+    def get(self, name: str) -> LoadedModule:
+        return self._loaded[name]
+
+    @property
+    def loaded_modules(self) -> list[str]:
+        return sorted(self._loaded)

@@ -1,0 +1,67 @@
+"""SMP support: partitioning task sets across monitored cores.
+
+Section 5.5 of the paper: for SMP architectures (one OS across several
+cores) "the Memometer would need only one set of MHM memories ... the
+address snoop and filtering logic needs to be replicated for each
+core".  The platform models exactly that — every monitored core's
+bursts feed the *same* Memometer, tagged with their core id — and this
+module provides the scheduling side: partitioned rate-monotonic
+assignment of a task set onto N cores.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .task import TaskDefinition
+
+__all__ = ["partition_tasks", "per_core_utilization"]
+
+
+def partition_tasks(
+    tasks: Sequence[TaskDefinition], num_cores: int
+) -> list[TaskDefinition]:
+    """Worst-fit-decreasing partitioning by utilisation.
+
+    The classic partitioned-RM heuristic: sort tasks by decreasing
+    utilisation and place each on the currently least-loaded core.
+    Returns new task definitions with their ``core`` field assigned.
+
+    Raises
+    ------
+    ValueError
+        If any single core would end up with utilisation > 1 (the set
+        cannot be partitioned this way).
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    loads = [0.0] * num_cores
+    assigned: list[TaskDefinition] = []
+    for task in sorted(tasks, key=lambda t: -t.utilization):
+        core = min(range(num_cores), key=loads.__getitem__)
+        if loads[core] + task.utilization > 1.0:
+            raise ValueError(
+                f"task {task.name!r} (u={task.utilization:.2f}) does not fit "
+                f"on any of {num_cores} cores"
+            )
+        loads[core] += task.utilization
+        assigned.append(task.on_core(core))
+    # Restore the caller's ordering (stable by original index).
+    order = {task.name: i for i, task in enumerate(tasks)}
+    assigned.sort(key=lambda t: order[t.name])
+    return assigned
+
+
+def per_core_utilization(
+    tasks: Sequence[TaskDefinition], num_cores: int
+) -> list[float]:
+    """Total utilisation each core carries under an assignment."""
+    loads = [0.0] * num_cores
+    for task in tasks:
+        if not 0 <= task.core < num_cores:
+            raise ValueError(
+                f"task {task.name!r} is assigned to core {task.core}, "
+                f"outside 0..{num_cores - 1}"
+            )
+        loads[task.core] += task.utilization
+    return loads

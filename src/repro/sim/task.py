@@ -1,0 +1,258 @@
+"""Periodic real-time task model.
+
+The paper's workload (Section 5.1) is a set of periodic applications
+(MiBench programs with manually assigned periods).  A
+:class:`TaskDefinition` captures what the MHM detector actually cares
+about: how long a job runs, how often it is released, and which kernel
+services it invokes along the way — because only the *kernel-side*
+activity lands inside the monitored region.
+
+A :class:`Job` is one release of a task.  Its execution is a timeline of
+user-time segments punctuated by kernel-service invocations; each
+invocation adds the service's CPU latency to the job and emits the
+service's fetch footprint at the invocation instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .kernel.layout import USER_SPACE_BASE
+
+__all__ = ["SyscallUse", "TaskDefinition", "KernelCall", "Job"]
+
+
+@dataclass(frozen=True)
+class SyscallUse:
+    """A task's per-job usage of one syscall: ``count`` calls, spread
+    evenly across the job's user-time with a little placement jitter."""
+
+    name: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("syscall count must be positive")
+
+
+@dataclass(frozen=True)
+class TaskDefinition:
+    """Static description of a periodic task.
+
+    Parameters
+    ----------
+    name:
+        Unique task name (also the tie-break for equal periods).
+    exec_time_ns:
+        Mean user-space execution time per job.
+    period_ns:
+        Release period; rate-monotonic priority follows from it.
+    syscalls:
+        Kernel services each job invokes (name, per-job count).
+    exec_jitter:
+        Relative standard deviation of per-job execution time.
+    phase_ns:
+        Release offset of the first job.
+    pagefaults_per_job:
+        Expected number of (Poisson-distributed) page faults per job.
+    user_text_base:
+        Base of the task's user text; fetches there are emitted so the
+        Memometer's address filter is exercised, then dropped by it.
+    core:
+        Monitored core the task is partitioned onto (SMP platforms;
+        see paper Section 5.5).
+    """
+
+    name: str
+    exec_time_ns: int
+    period_ns: int
+    syscalls: tuple[SyscallUse, ...] = ()
+    exec_jitter: float = 0.02
+    phase_ns: int = 0
+    pagefaults_per_job: float = 0.2
+    user_text_base: Optional[int] = None
+    core: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ValueError("core must be non-negative")
+        if self.exec_time_ns <= 0:
+            raise ValueError("exec_time_ns must be positive")
+        if self.period_ns <= 0:
+            raise ValueError("period_ns must be positive")
+        if self.exec_time_ns > self.period_ns:
+            raise ValueError(
+                f"task {self.name!r}: exec time {self.exec_time_ns} exceeds "
+                f"period {self.period_ns}"
+            )
+        if not 0.0 <= self.exec_jitter < 0.5:
+            raise ValueError("exec_jitter must be in [0, 0.5)")
+        if self.phase_ns < 0:
+            raise ValueError("phase_ns must be non-negative")
+        if self.pagefaults_per_job < 0:
+            raise ValueError("pagefaults_per_job must be non-negative")
+
+    @property
+    def utilization(self) -> float:
+        return self.exec_time_ns / self.period_ns
+
+    def resolved_user_base(self, index: int) -> int:
+        """User text base; auto-spaced by task index when unspecified."""
+        if self.user_text_base is not None:
+            return self.user_text_base
+        return USER_SPACE_BASE + (index + 1) * 0x0010_0000
+
+    def with_phase(self, phase_ns: int) -> "TaskDefinition":
+        from dataclasses import replace
+
+        return replace(self, phase_ns=phase_ns)
+
+    def on_core(self, core: int) -> "TaskDefinition":
+        from dataclasses import replace
+
+        return replace(self, core=core)
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """A scheduled kernel entry within a job's user-time.
+
+    ``user_offset_ns`` is the amount of *user* execution after which the
+    call fires.  ``via_table`` distinguishes syscalls (dispatched
+    through the — possibly hijacked — syscall table) from involuntary
+    kernel entries such as page faults.
+    """
+
+    user_offset_ns: int
+    service: str
+    via_table: bool = True
+
+
+class Job:
+    """One release of a periodic task."""
+
+    __slots__ = (
+        "task",
+        "release_ns",
+        "user_required_ns",
+        "user_done_ns",
+        "kernel_pending_ns",
+        "kernel_time_ns",
+        "calls",
+        "next_call",
+        "completed_at_ns",
+        "preemptions",
+        "dispatch_stamp",
+        "user_base",
+    )
+
+    def __init__(
+        self,
+        task: TaskDefinition,
+        release_ns: int,
+        rng: np.random.Generator,
+        user_base: int,
+    ):
+        self.task = task
+        self.release_ns = release_ns
+        jitter = rng.normal(1.0, task.exec_jitter) if task.exec_jitter else 1.0
+        self.user_required_ns = max(1, int(task.exec_time_ns * max(0.5, jitter)))
+        self.user_done_ns = 0
+        self.kernel_pending_ns = 0
+        self.kernel_time_ns = 0
+        self.calls = self._plan_calls(rng)
+        self.next_call = 0
+        self.completed_at_ns: Optional[int] = None
+        self.preemptions = 0
+        self.dispatch_stamp = 0
+        self.user_base = user_base
+
+    def _plan_calls(self, rng: np.random.Generator) -> list[KernelCall]:
+        """Place the job's kernel entries along its user timeline."""
+        calls: list[KernelCall] = []
+        span = self.user_required_ns
+        for use in self.task.syscalls:
+            for i in range(use.count):
+                fraction = (i + 0.5) / use.count
+                fraction += rng.uniform(-0.3, 0.3) / use.count
+                fraction = min(0.99, max(0.01, fraction))
+                calls.append(
+                    KernelCall(
+                        user_offset_ns=int(fraction * span),
+                        service=use.name,
+                        via_table=True,
+                    )
+                )
+        n_faults = int(rng.poisson(self.task.pagefaults_per_job))
+        for _ in range(n_faults):
+            offset = int(rng.uniform(0.01, 0.99) * span)
+            calls.append(
+                KernelCall(
+                    user_offset_ns=offset, service="kernel.page_fault", via_table=False
+                )
+            )
+        calls.sort(key=lambda c: c.user_offset_ns)
+        return calls
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        return (
+            self.user_done_ns >= self.user_required_ns
+            and self.kernel_pending_ns == 0
+            and self.next_call >= len(self.calls)
+        )
+
+    @property
+    def pending_call(self) -> Optional[KernelCall]:
+        if self.next_call < len(self.calls):
+            return self.calls[self.next_call]
+        return None
+
+    def time_to_next_milestone(self) -> int:
+        """CPU time until the next event in this job's execution.
+
+        Milestones are, in order of precedence: finishing the current
+        kernel segment, reaching the next kernel-call offset, finishing
+        the job's user time.
+        """
+        if self.kernel_pending_ns > 0:
+            return self.kernel_pending_ns
+        call = self.pending_call
+        if call is not None:
+            return max(0, call.user_offset_ns - self.user_done_ns)
+        return self.user_required_ns - self.user_done_ns
+
+    def advance(self, elapsed_ns: int) -> None:
+        """Consume ``elapsed_ns`` of CPU: kernel segment first, then
+        user time (matching how the monitored core actually spends it)."""
+        if elapsed_ns < 0:
+            raise ValueError("cannot advance by negative time")
+        take = min(self.kernel_pending_ns, elapsed_ns)
+        self.kernel_pending_ns -= take
+        self.kernel_time_ns += take
+        remaining = elapsed_ns - take
+        if remaining > 0:
+            self.user_done_ns = min(
+                self.user_required_ns, self.user_done_ns + remaining
+            )
+
+    def begin_kernel_segment(self, latency_ns: int) -> None:
+        self.kernel_pending_ns += max(0, latency_ns)
+
+    @property
+    def response_time_ns(self) -> Optional[int]:
+        if self.completed_at_ns is None:
+            return None
+        return self.completed_at_ns - self.release_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job({self.task.name}@{self.release_ns}, "
+            f"user={self.user_done_ns}/{self.user_required_ns})"
+        )

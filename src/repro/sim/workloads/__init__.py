@@ -1,0 +1,29 @@
+"""Periodic workload definitions (MiBench-like, per Section 5.1)."""
+
+from .rtos import RTOS_JITTER_SCALE, rtos_config, rtos_taskset
+from .mibench import (
+    TASK_CATEGORIES,
+    basicmath_task,
+    bitcount_task,
+    crc32_task,
+    dijkstra_task,
+    fft_task,
+    paper_taskset,
+    qsort_task,
+    sha_task,
+)
+
+__all__ = [
+    "fft_task",
+    "bitcount_task",
+    "basicmath_task",
+    "sha_task",
+    "qsort_task",
+    "crc32_task",
+    "dijkstra_task",
+    "paper_taskset",
+    "TASK_CATEGORIES",
+    "rtos_taskset",
+    "rtos_config",
+    "RTOS_JITTER_SCALE",
+]

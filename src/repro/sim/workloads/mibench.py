@@ -1,0 +1,230 @@
+"""MiBench-like periodic workloads.
+
+Section 5.1 runs four MiBench applications as periodic tasks (plus
+qsort, launched mid-run in Scenario 1):
+
+====================  ==========  ========  ==============
+application           exec time   period    category
+====================  ==========  ========  ==============
+FFT                   2 ms        10 ms     telecomm
+bitcount              3 ms        20 ms     automotive
+basicmath             9 ms        50 ms     automotive
+sha                   25 ms       100 ms    security
+qsort (Scenario 1)    6 ms        30 ms     automotive
+====================  ==========  ========  ==============
+
+Total utilisation of the base set is 78 %, matching the paper.  The
+syscall mixes are what distinguishes the tasks from the kernel's point
+of view; sha is deliberately read-heavy, because Section 5.3's rootkit
+analysis hinges on it ("sha ... which uses many read system calls").
+"""
+
+from __future__ import annotations
+
+from ..engine import NS_PER_MS
+from ..task import SyscallUse, TaskDefinition
+
+__all__ = [
+    "fft_task",
+    "bitcount_task",
+    "basicmath_task",
+    "sha_task",
+    "qsort_task",
+    "crc32_task",
+    "dijkstra_task",
+    "susan_task",
+    "patricia_task",
+    "jpeg_task",
+    "paper_taskset",
+    "extended_taskset",
+    "TASK_CATEGORIES",
+]
+
+#: MiBench category of each workload (Section 5.1's table).
+TASK_CATEGORIES = {
+    "fft": "telecomm",
+    "bitcount": "automotive",
+    "basicmath": "automotive",
+    "sha": "security",
+    "qsort": "automotive",
+    "crc32": "telecomm",
+    "dijkstra": "network",
+    "susan": "automotive",
+    "patricia": "network",
+    "jpeg": "consumer",
+}
+
+
+def fft_task(phase_ns: int = 0) -> TaskDefinition:
+    """FFT: 2 ms / 10 ms (telecomm)."""
+    return TaskDefinition(
+        name="fft",
+        exec_time_ns=2 * NS_PER_MS,
+        period_ns=10 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 2),
+            SyscallUse("write", 1),
+            SyscallUse("gettimeofday", 2),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def bitcount_task(phase_ns: int = 0) -> TaskDefinition:
+    """bitcount: 3 ms / 20 ms (automotive)."""
+    return TaskDefinition(
+        name="bitcount",
+        exec_time_ns=3 * NS_PER_MS,
+        period_ns=20 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 1),
+            SyscallUse("write", 1),
+            SyscallUse("getpid", 1),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def basicmath_task(phase_ns: int = 0) -> TaskDefinition:
+    """basicmath: 9 ms / 50 ms (automotive)."""
+    return TaskDefinition(
+        name="basicmath",
+        exec_time_ns=9 * NS_PER_MS,
+        period_ns=50 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("write", 4),
+            SyscallUse("brk", 1),
+            SyscallUse("gettimeofday", 2),
+            SyscallUse("clock_gettime", 2),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def sha_task(phase_ns: int = 0) -> TaskDefinition:
+    """sha: 25 ms / 100 ms (security) — deliberately read-heavy."""
+    return TaskDefinition(
+        name="sha",
+        exec_time_ns=25 * NS_PER_MS,
+        period_ns=100 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 40),
+            SyscallUse("write", 4),
+            SyscallUse("fstat64", 1),
+            SyscallUse("brk", 1),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def qsort_task(phase_ns: int = 0) -> TaskDefinition:
+    """qsort: 6 ms / 30 ms — the application *added* in Scenario 1."""
+    return TaskDefinition(
+        name="qsort",
+        exec_time_ns=6 * NS_PER_MS,
+        period_ns=30 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 8),
+            SyscallUse("write", 2),
+            SyscallUse("brk", 2),
+            SyscallUse("mmap", 1),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def crc32_task(phase_ns: int = 0) -> TaskDefinition:
+    """crc32: 1 ms / 25 ms — extra telecomm workload for larger setups."""
+    return TaskDefinition(
+        name="crc32",
+        exec_time_ns=1 * NS_PER_MS,
+        period_ns=25 * NS_PER_MS,
+        syscalls=(SyscallUse("read", 4), SyscallUse("write", 1)),
+        phase_ns=phase_ns,
+    )
+
+
+def dijkstra_task(phase_ns: int = 0) -> TaskDefinition:
+    """dijkstra: 12 ms / 200 ms — extra network workload."""
+    return TaskDefinition(
+        name="dijkstra",
+        exec_time_ns=12 * NS_PER_MS,
+        period_ns=200 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 6),
+            SyscallUse("write", 2),
+            SyscallUse("mmap", 1),
+            SyscallUse("munmap", 1),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def susan_task(phase_ns: int = 0) -> TaskDefinition:
+    """susan (image smoothing): 14 ms / 200 ms — mmap-heavy."""
+    return TaskDefinition(
+        name="susan",
+        exec_time_ns=14 * NS_PER_MS,
+        period_ns=200 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 4),
+            SyscallUse("write", 2),
+            SyscallUse("mmap", 2),
+            SyscallUse("munmap", 2),
+            SyscallUse("brk", 1),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def patricia_task(phase_ns: int = 0) -> TaskDefinition:
+    """patricia (routing-table lookups): 5 ms / 100 ms."""
+    return TaskDefinition(
+        name="patricia",
+        exec_time_ns=5 * NS_PER_MS,
+        period_ns=100 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 10),
+            SyscallUse("brk", 2),
+            SyscallUse("gettimeofday", 1),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def jpeg_task(phase_ns: int = 0) -> TaskDefinition:
+    """jpeg encode: 30 ms / 250 ms — write-heavy, bursty allocation."""
+    return TaskDefinition(
+        name="jpeg",
+        exec_time_ns=30 * NS_PER_MS,
+        period_ns=250 * NS_PER_MS,
+        syscalls=(
+            SyscallUse("read", 12),
+            SyscallUse("write", 20),
+            SyscallUse("brk", 3),
+            SyscallUse("mmap", 1),
+            SyscallUse("fstat64", 1),
+        ),
+        phase_ns=phase_ns,
+    )
+
+
+def paper_taskset() -> list[TaskDefinition]:
+    """The base task set of Section 5.1 (78 % utilisation)."""
+    return [fft_task(), bitcount_task(), basicmath_task(), sha_task()]
+
+
+def extended_taskset() -> list[TaskDefinition]:
+    """A richer nine-task workload for larger-scale experiments.
+
+    Intended for SMP setups (total utilisation ~1.3: partition with
+    :func:`repro.sim.smp.partition_tasks` across two or more cores).
+    """
+    return paper_taskset() + [
+        qsort_task(),
+        crc32_task(),
+        dijkstra_task(),
+        susan_task(),
+        patricia_task(),
+        jpeg_task(),
+    ]

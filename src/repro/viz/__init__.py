@@ -1,0 +1,14 @@
+"""Terminal rendering helpers (heat maps, density traces, tables)."""
+
+from .ascii import render_heatmap, render_series, render_sparkline
+from .report import build_report, write_report
+from .tables import format_table
+
+__all__ = [
+    "render_heatmap",
+    "render_series",
+    "render_sparkline",
+    "format_table",
+    "build_report",
+    "write_report",
+]

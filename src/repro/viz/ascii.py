@@ -1,0 +1,133 @@
+"""Terminal-friendly rendering of heat maps and density series.
+
+The paper's 2-D heat-map pictures (Figure 1) are "for illustrative
+purposes only" — an MHM is a vector.  These helpers give the examples
+and benchmarks a way to *show* that vector (and the Figure 7/8/10
+density traces) on a terminal, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.mhm import MemoryHeatMap
+
+__all__ = ["render_heatmap", "render_series", "render_sparkline"]
+
+#: Shade ramp from cold to hot.
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, maximum: float) -> str:
+    if maximum <= 0 or value <= 0:
+        return _SHADES[0]
+    level = int(np.sqrt(value / maximum) * (len(_SHADES) - 1) + 0.5)
+    return _SHADES[min(level, len(_SHADES) - 1)]
+
+
+def render_heatmap(
+    heat_map: MemoryHeatMap, width: int = 64, log_scale: bool = False
+) -> str:
+    """Render an MHM as a 2-D character grid (Figure 1 style).
+
+    Cells are laid out row-major, ``width`` cells per row; intensity is
+    a 10-level shade of the cell count (square-root scaled by default,
+    logarithmic with ``log_scale``).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    counts = heat_map.as_vector()
+    if log_scale:
+        counts = np.log1p(counts)
+    maximum = float(counts.max())
+    rows = []
+    for start in range(0, len(counts), width):
+        chunk = counts[start : start + width]
+        rows.append("".join(_shade(float(v), maximum) for v in chunk))
+    header = (
+        f"AddrBase {heat_map.spec.base_address:#x}  "
+        f"S {heat_map.spec.region_size}  "
+        f"delta {heat_map.spec.granularity}  "
+        f"cells {heat_map.num_cells}  "
+        f"total {heat_map.total_accesses}"
+    )
+    return header + "\n" + "\n".join(rows)
+
+
+def render_sparkline(values: Sequence[float], width: int = 72) -> str:
+    """One-line sparkline of a value series (resampled to ``width``)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span <= 0:
+        return blocks[0] * len(values)
+    indices = ((values - lo) / span * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[i] for i in indices)
+
+
+def render_series(
+    values: Sequence[float],
+    height: int = 12,
+    width: int = 72,
+    thresholds: Optional[dict[str, float]] = None,
+    events: Optional[dict[str, int]] = None,
+) -> str:
+    """A character-cell line plot of a density/volume series.
+
+    ``thresholds`` draws labelled horizontal lines (θ_p); ``events``
+    draws labelled vertical markers at interval indices (attack
+    injection, revert).  This is how the examples reproduce the look of
+    Figures 7, 8 and 10 in a terminal.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    if n == 0:
+        return ""
+    if height < 3:
+        raise ValueError("height must be >= 3")
+
+    column_of = lambda i: min(width - 1, int(i / max(1, n) * width))
+    resampled = np.full(width, np.nan)
+    for column in range(width):
+        lo = int(column * n / width)
+        hi = max(lo + 1, int((column + 1) * n / width))
+        resampled[column] = values[lo:hi].mean()
+
+    all_levels = [v for v in resampled if np.isfinite(v)]
+    if thresholds:
+        all_levels.extend(thresholds.values())
+    lo, hi = min(all_levels), max(all_levels)
+    if hi - lo <= 0:
+        hi = lo + 1.0
+    row_of = lambda v: int((hi - v) / (hi - lo) * (height - 1) + 0.5)
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, level in (thresholds or {}).items():
+        r = min(height - 1, max(0, row_of(level)))
+        for c in range(width):
+            grid[r][c] = "-"
+        label = name[: max(0, width - 1)]
+        for j, ch in enumerate(label):
+            if j < width:
+                grid[r][j] = ch
+    for name, index in (events or {}).items():
+        c = column_of(index)
+        for r in range(height):
+            if grid[r][c] == " ":
+                grid[r][c] = "|"
+    for c, v in enumerate(resampled):
+        if np.isfinite(v):
+            grid[row_of(v)][c] = "*"
+
+    axis = f"  y: [{lo:.1f}, {hi:.1f}]   x: 0..{n - 1}"
+    return "\n".join("".join(row) for row in grid) + "\n" + axis

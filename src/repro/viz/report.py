@@ -1,0 +1,88 @@
+"""Reproduction-report aggregation.
+
+Every benchmark writes a paper-vs-measured text report into
+``benchmarks/out/``.  :func:`build_report` stitches them into one
+Markdown document (``REPORT.md``) in a stable order — the quick way to
+eyeball the whole reproduction after ``pytest benchmarks/
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional, Sequence
+
+__all__ = ["REPORT_ORDER", "build_report", "write_report"]
+
+#: Canonical ordering of the per-benchmark reports.
+REPORT_ORDER: tuple[str, ...] = (
+    "test_fig1_example_mhm",
+    "test_table_taskset",
+    "test_sec52_training",
+    "test_fig6_eigenmemory",
+    "test_fig7_app_launch",
+    "test_fig8_shellcode",
+    "test_fig9_traffic_volume",
+    "test_fig10_rootkit",
+    "test_sec54_analysis_time",
+    "test_ablation_placement",
+    "test_ablation_granularity",
+    "test_ablation_eigenmemories",
+    "test_ablation_gmm_components",
+    "test_ablation_interval",
+    "test_ablation_baselines",
+    "test_ablation_rtos",
+    "test_ablation_smp",
+    "test_ablation_localfeatures",
+    "test_ablation_stealth",
+    "test_ablation_temporal",
+    "test_ablation_training_size",
+)
+
+
+def build_report(
+    out_dir,
+    order: Sequence[str] = REPORT_ORDER,
+    title: str = "Memory Heat Map — reproduction report",
+) -> str:
+    """Concatenate the benchmark reports found in ``out_dir``.
+
+    Reports listed in ``order`` come first (in that order); any extra
+    ``.txt`` files in the directory are appended alphabetically.
+    Missing reports are noted rather than failing, so a partial
+    benchmark run still produces a useful document.
+    """
+    out_dir = pathlib.Path(out_dir)
+    sections: list[str] = [f"# {title}", ""]
+    seen = set()
+
+    def add(name: str, path: Optional[pathlib.Path]) -> None:
+        sections.append(f"## {name}")
+        sections.append("")
+        if path is None:
+            sections.append("*(report not generated — benchmark not run)*")
+        else:
+            sections.append("```")
+            sections.append(path.read_text().rstrip())
+            sections.append("```")
+        sections.append("")
+
+    for name in order:
+        path = out_dir / f"{name}.txt"
+        seen.add(path.name)
+        add(name, path if path.exists() else None)
+
+    extras = sorted(
+        p for p in out_dir.glob("*.txt") if p.name not in seen
+    ) if out_dir.exists() else []
+    for path in extras:
+        add(path.stem, path)
+
+    return "\n".join(sections)
+
+
+def write_report(out_dir, destination) -> pathlib.Path:
+    """Build the report and write it to ``destination``."""
+    destination = pathlib.Path(destination)
+    destination.write_text(build_report(out_dir))
+    return destination

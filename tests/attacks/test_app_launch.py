@@ -1,0 +1,68 @@
+"""Tests for Scenario 1 semantics (app addition/deletion)."""
+
+import pytest
+
+from repro.attacks import AppLaunchAttack, AttackError
+from repro.sim.engine import NS_PER_MS
+from repro.sim.workloads.mibench import crc32_task
+
+
+class TestInject:
+    def test_launches_qsort_by_default(self, platform):
+        attack = AppLaunchAttack()
+        platform.run_for(50 * NS_PER_MS)
+        attack.inject(platform)
+        assert "qsort" in platform.scheduler.task_names
+        assert attack.launched
+        assert attack.reversible
+
+    def test_custom_task(self, platform):
+        attack = AppLaunchAttack(task=crc32_task())
+        attack.inject(platform)
+        assert "crc32" in platform.scheduler.task_names
+
+    def test_double_inject_rejected(self, platform):
+        attack = AppLaunchAttack()
+        attack.inject(platform)
+        with pytest.raises(AttackError, match="already launched"):
+            attack.inject(platform)
+
+    def test_start_delay_honoured(self, platform):
+        attack = AppLaunchAttack(start_delay_ns=5 * NS_PER_MS)
+        attack.inject(platform)
+        platform.run_for(4 * NS_PER_MS)
+        assert platform.scheduler.task("qsort").stats.releases == 0
+        platform.run_for(2 * NS_PER_MS)
+        assert platform.scheduler.task("qsort").stats.releases == 1
+
+    def test_qsort_perturbs_other_tasks(self, platform):
+        """The paper: 'the timings of the other tasks are affected'."""
+        platform.run_for(500 * NS_PER_MS)
+        sha_before = platform.scheduler.task("sha").stats.mean_response_ns
+        AppLaunchAttack().inject(platform)
+        platform.run_for(1000 * NS_PER_MS)
+        sha_after = platform.scheduler.task("sha").stats.mean_response_ns
+        assert sha_after > sha_before
+
+
+class TestRevert:
+    def test_revert_kills_qsort(self, platform):
+        attack = AppLaunchAttack()
+        attack.inject(platform)
+        platform.run_for(100 * NS_PER_MS)
+        attack.revert(platform)
+        assert "qsort" not in platform.scheduler.task_names
+        assert not attack.launched
+
+    def test_revert_before_inject_rejected(self, platform):
+        with pytest.raises(AttackError, match="not running"):
+            AppLaunchAttack().revert(platform)
+
+    def test_relaunch_after_revert(self, platform):
+        attack = AppLaunchAttack()
+        attack.inject(platform)
+        platform.run_for(50 * NS_PER_MS)
+        attack.revert(platform)
+        platform.run_for(50 * NS_PER_MS)
+        attack.inject(platform)
+        assert "qsort" in platform.scheduler.task_names

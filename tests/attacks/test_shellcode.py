@@ -1,0 +1,68 @@
+"""Tests for Scenario 2 semantics (shellcode execution)."""
+
+import pytest
+
+from repro.attacks import AttackError, ShellcodeAttack
+from repro.sim.engine import NS_PER_MS
+
+
+class TestInject:
+    def test_disables_aslr(self, platform):
+        attack = ShellcodeAttack()
+        platform.run_for(20 * NS_PER_MS)
+        assert platform.kernel.aslr.enabled
+        attack.inject(platform)
+        assert not platform.kernel.aslr.enabled
+
+    def test_kills_host(self, platform):
+        ShellcodeAttack(host="bitcount").inject(platform)
+        assert "bitcount" not in platform.scheduler.task_names
+        # Other tasks unaffected.
+        assert {"fft", "basicmath", "sha"} <= set(platform.scheduler.task_names)
+
+    def test_spawns_shell(self, platform):
+        ShellcodeAttack().inject(platform)
+        assert "sh" in platform.processes.alive_processes()
+
+    def test_emits_attack_footprints(self, platform):
+        before_procsys = platform.kernel.invocation_count("syscall.write_procsys")
+        before_exec = platform.kernel.invocation_count("syscall.execve")
+        ShellcodeAttack().inject(platform)
+        assert (
+            platform.kernel.invocation_count("syscall.write_procsys")
+            == before_procsys + 1
+        )
+        assert platform.kernel.invocation_count("syscall.execve") == before_exec + 1
+
+    def test_not_reversible(self, platform):
+        attack = ShellcodeAttack()
+        assert not attack.reversible
+        with pytest.raises(AttackError, match="cannot be reverted"):
+            attack.revert(platform)
+
+    def test_double_execution_rejected(self, platform):
+        attack = ShellcodeAttack()
+        attack.inject(platform)
+        with pytest.raises(AttackError, match="already executed"):
+            attack.inject(platform)
+
+    def test_missing_host_rejected(self, platform):
+        attack = ShellcodeAttack(host="nonexistent")
+        with pytest.raises(AttackError, match="not running"):
+            attack.inject(platform)
+
+    def test_aslr_only_variant(self, platform):
+        """A stealthier payload that does not kill its host."""
+        attack = ShellcodeAttack(spawn_shell=False)
+        attack.inject(platform)
+        assert not platform.kernel.aslr.enabled
+        assert "bitcount" in platform.scheduler.task_names
+
+    def test_host_jobs_stop_after_attack(self, platform):
+        platform.run_for(100 * NS_PER_MS)
+        completions = platform.scheduler.task("bitcount").stats.completions
+        assert completions > 0
+        ShellcodeAttack().inject(platform)
+        platform.run_for(200 * NS_PER_MS)
+        # No bitcount task anymore -> its stats are frozen with the TCB gone.
+        assert "bitcount" not in platform.scheduler.task_names

@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Expensive artifacts (platform boots, trained detectors) are
+session-scoped: the quick-scale reference detector takes a couple of
+seconds to train and is reused by the learn/, attacks/, pipeline/ and
+integration/ suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spec import HeatMapSpec
+from repro.pipeline.experiments import QUICK_SCALE, get_reference_artifacts
+from repro.sim.kernel.layout import KernelLayout
+from repro.sim.platform import Platform, PlatformConfig
+
+
+@pytest.fixture(scope="session")
+def layout() -> KernelLayout:
+    """The canonical synthetic kernel layout (deterministic)."""
+    return KernelLayout()
+
+
+@pytest.fixture(scope="session")
+def paper_spec() -> HeatMapSpec:
+    """The paper's monitored region: 1,472 cells at 2 KB."""
+    return HeatMapSpec(base_address=0xC0008000, region_size=3_013_284, granularity=2048)
+
+
+@pytest.fixture()
+def small_spec() -> HeatMapSpec:
+    """A tiny region for hand-computed expectations."""
+    return HeatMapSpec(base_address=0x1000, region_size=0x800, granularity=0x100)
+
+
+@pytest.fixture()
+def platform() -> Platform:
+    """A fresh default platform (paper task set, seed 7)."""
+    return Platform(PlatformConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def quick_artifacts():
+    """Quick-scale trained detector + training data (memoised)."""
+    return get_reference_artifacts(QUICK_SCALE)
+
+
+@pytest.fixture(scope="session")
+def quick_detector(quick_artifacts):
+    return quick_artifacts.detector
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,104 @@
+"""Tests for HeatMapSeries."""
+
+import numpy as np
+import pytest
+
+from repro.core.mhm import MemoryHeatMap
+from repro.core.series import HeatMapSeries
+from repro.core.spec import HeatMapSpec
+
+
+@pytest.fixture()
+def series(small_spec):
+    result = HeatMapSeries(small_spec)
+    for i in range(5):
+        heat_map = MemoryHeatMap(small_spec, interval_index=i, start_time_ns=i * 10)
+        heat_map.record(small_spec.base_address, count=i + 1)
+        result.append(heat_map)
+    return result
+
+
+class TestCollection:
+    def test_length_and_iteration(self, series):
+        assert len(series) == 5
+        assert [m.interval_index for m in series] == [0, 1, 2, 3, 4]
+
+    def test_indexing(self, series):
+        assert series[0].interval_index == 0
+        assert series[-1].interval_index == 4
+
+    def test_slicing_returns_series(self, series):
+        tail = series[2:]
+        assert isinstance(tail, HeatMapSeries)
+        assert len(tail) == 3
+        assert tail[0].interval_index == 2
+
+    def test_spec_mismatch_rejected(self, series):
+        other = HeatMapSpec(0x9000, 0x800, 0x100)
+        with pytest.raises(ValueError, match="spec"):
+            series.append(MemoryHeatMap(other))
+
+    def test_concatenation(self, series, small_spec):
+        other = HeatMapSeries(small_spec, [MemoryHeatMap(small_spec)])
+        combined = series + other
+        assert len(combined) == 6
+
+    def test_concatenation_spec_mismatch(self, series):
+        other = HeatMapSeries(HeatMapSpec(0x9000, 0x800, 0x100))
+        with pytest.raises(ValueError, match="specs"):
+            series + other
+
+
+class TestViews:
+    def test_matrix_shape_and_values(self, series, small_spec):
+        matrix = series.matrix()
+        assert matrix.shape == (5, small_spec.num_cells)
+        np.testing.assert_array_equal(matrix[:, 0], [1, 2, 3, 4, 5])
+
+    def test_empty_matrix(self, small_spec):
+        matrix = HeatMapSeries(small_spec).matrix()
+        assert matrix.shape == (0, small_spec.num_cells)
+
+    def test_traffic_volumes(self, series):
+        np.testing.assert_array_equal(series.traffic_volumes(), [1, 2, 3, 4, 5])
+
+    def test_mean_map(self, series):
+        mean = series.mean_map()
+        assert mean.counts[0] == 3  # mean of 1..5
+
+    def test_mean_of_empty_rejected(self, small_spec):
+        with pytest.raises(ValueError, match="empty"):
+            HeatMapSeries(small_spec).mean_map()
+
+    def test_split(self, series):
+        head, tail = series.split(0.6)
+        assert len(head) == 3
+        assert len(tail) == 2
+        assert head[0].interval_index == 0
+        assert tail[0].interval_index == 3
+
+    def test_split_bad_fraction(self, series):
+        with pytest.raises(ValueError):
+            series.split(0.0)
+        with pytest.raises(ValueError):
+            series.split(1.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, series, tmp_path):
+        path = tmp_path / "series.npz"
+        series.save(path)
+        loaded = HeatMapSeries.load(path)
+        assert len(loaded) == len(series)
+        assert loaded.spec == series.spec
+        for original, restored in zip(series, loaded):
+            assert original == restored
+            assert original.interval_index == restored.interval_index
+            assert original.start_time_ns == restored.start_time_ns
+
+    def test_from_matrix(self, small_spec):
+        matrix = np.arange(2 * small_spec.num_cells).reshape(2, -1)
+        series = HeatMapSeries.from_matrix(small_spec, matrix)
+        assert len(series) == 2
+        np.testing.assert_array_equal(series.matrix(), matrix)
+        assert series[1].interval_index == 1

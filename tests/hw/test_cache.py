@@ -1,0 +1,140 @@
+"""Tests for the cache models and the placement filter."""
+
+import numpy as np
+import pytest
+
+from repro.hw.cache import (
+    L1_CONFIG,
+    L2_CONFIG,
+    CacheConfig,
+    CacheFilter,
+    SetAssociativeCache,
+)
+from repro.sim.trace import AccessBurst, TraceRecorder
+
+
+def make_burst(addresses, weights=None, time_ns=0, kind="k"):
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if weights is None:
+        weights = np.ones_like(addresses)
+    return AccessBurst(
+        time_ns=time_ns,
+        addresses=addresses,
+        weights=np.asarray(weights, dtype=np.int64),
+        kind=kind,
+    )
+
+
+class TestCacheConfig:
+    def test_prototype_geometries(self):
+        assert L1_CONFIG.size_bytes == 32 * 1024
+        assert L1_CONFIG.num_sets == 256
+        assert L2_CONFIG.size_bytes == 512 * 1024
+        assert L2_CONFIG.num_sets == 2048
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, ways=4)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=4, line_bytes=32)
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig(size_bytes=4 * 24 * 10, ways=4, line_bytes=24)
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, ways=2))
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x101F)  # same 32 B line
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        # 2 ways, 16 sets (1024/2/32): three lines mapping to one set.
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, ways=2))
+        set_stride = 16 * 32
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert cache.access(b)
+        assert cache.access(c)
+        assert not cache.access(a)  # a was evicted
+
+    def test_lru_refresh_on_hit(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, ways=2))
+        set_stride = 16 * 32
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a; b is now LRU
+        cache.access(c)  # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_flush(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, ways=2))
+        cache.access(0x1000)
+        cache.flush()
+        assert not cache.access(0x1000)
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, ways=2))
+        assert cache.hit_rate == 0.0
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestCacheFilter:
+    def _filter(self):
+        downstream = TraceRecorder()
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, ways=2))
+        return CacheFilter(cache, downstream), downstream
+
+    def test_misses_forwarded_once(self):
+        cache_filter, downstream = self._filter()
+        cache_filter.observe_burst(make_burst([0x1000, 0x1004, 0x2000]))
+        assert len(downstream.bursts) == 1
+        forwarded = downstream.bursts[0]
+        # 0x1000 and 0x1004 share a line: one miss; 0x2000: one miss.
+        assert len(forwarded) == 2
+        assert forwarded.total_accesses == 2
+
+    def test_weights_collapsed(self):
+        """A loop body fetched 100x appears once downstream — the
+        information loss of Section 5.5."""
+        cache_filter, downstream = self._filter()
+        cache_filter.observe_burst(make_burst([0x1000], [100]))
+        assert downstream.bursts[0].total_accesses == 1
+
+    def test_warm_cache_forwards_nothing(self):
+        cache_filter, downstream = self._filter()
+        cache_filter.observe_burst(make_burst([0x1000]))
+        cache_filter.observe_burst(make_burst([0x1000]))
+        assert len(downstream.bursts) == 1  # second burst fully hit
+
+    def test_burst_metadata_preserved(self):
+        cache_filter, downstream = self._filter()
+        cache_filter.observe_burst(make_burst([0x1000], time_ns=77, kind="syscall.read"))
+        forwarded = downstream.bursts[0]
+        assert forwarded.time_ns == 77
+        assert forwarded.kind == "syscall.read"
+
+    def test_chained_filters_monotonically_reduce(self):
+        final = TraceRecorder()
+        l2 = CacheFilter(SetAssociativeCache(L2_CONFIG), final)
+        middle = TraceRecorder()
+
+        class Tee:
+            def observe_burst(self, burst):
+                middle.observe_burst(burst)
+                l2.observe_burst(burst)
+
+        l1 = CacheFilter(SetAssociativeCache(L1_CONFIG), Tee())
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            addresses = rng.integers(0, 256 * 1024, size=200) & ~3
+            l1.observe_burst(make_burst(addresses))
+        assert final.total_accesses() <= middle.total_accesses()

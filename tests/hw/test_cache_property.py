@@ -1,0 +1,79 @@
+"""Property-based tests for the cache model.
+
+The LRU set-associative cache is cross-checked against an independent
+brute-force reference on random access sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cache import CacheConfig, SetAssociativeCache
+
+
+class ReferenceLru:
+    """Dead-simple reference: per-set list of (line, last_used)."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.sets: dict[int, list[int]] = {}
+        self.clock = 0
+        self.last_used: dict[tuple[int, int], int] = {}
+
+    def access(self, address: int) -> bool:
+        line = address >> self.config.line_shift
+        set_index = line % self.config.num_sets
+        resident = self.sets.setdefault(set_index, [])
+        self.clock += 1
+        if line in resident:
+            self.last_used[(set_index, line)] = self.clock
+            return True
+        if len(resident) == self.config.ways:
+            victim = min(resident, key=lambda l: self.last_used[(set_index, l)])
+            resident.remove(victim)
+        resident.append(line)
+        self.last_used[(set_index, line)] = self.clock
+        return False
+
+
+class TestCacheMatchesReference:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        span=st.sampled_from([512, 2048, 16384]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hit_miss_sequence_identical(self, seed, span):
+        config = CacheConfig(size_bytes=1024, ways=2)
+        model = SetAssociativeCache(config)
+        reference = ReferenceLru(config)
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, span, size=300)
+        for address in addresses:
+            assert model.access(int(address)) == reference.access(int(address))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_consistent(self, seed):
+        config = CacheConfig(size_bytes=2048, ways=4)
+        model = SetAssociativeCache(config)
+        rng = np.random.default_rng(seed)
+        n = 200
+        for address in rng.integers(0, 8192, size=n):
+            model.access(int(address))
+        assert model.hits + model.misses == n
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_working_set_within_capacity_never_misses_twice(self, seed):
+        """Once a small working set is resident, it stays resident."""
+        config = CacheConfig(size_bytes=4096, ways=4, line_bytes=32)
+        model = SetAssociativeCache(config)
+        rng = np.random.default_rng(seed)
+        # 8 lines, all mapping to distinct sets (stride = line size).
+        lines = (rng.integers(0, 32) * 32 + np.arange(8) * 32 * config.num_sets // 8).tolist()
+        working_set = [int(a) for a in lines][:4]
+        for address in working_set:
+            model.access(address)
+        for _ in range(5):
+            for address in working_set:
+                assert model.access(address)

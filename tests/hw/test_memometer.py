@@ -1,0 +1,208 @@
+"""Tests for the Memometer hardware model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.memometer import (
+    COUNTER_MAX,
+    MAX_CELLS,
+    ControlRegisters,
+    Memometer,
+    MemometerConfigError,
+)
+from repro.sim.trace import AccessBurst
+
+
+def make_registers(base=0x1000, size=0x800, granularity=0x100, interval=10_000_000):
+    return ControlRegisters(
+        base_address=base,
+        region_size=size,
+        granularity=granularity,
+        interval_ns=interval,
+    )
+
+
+def make_burst(addresses, weights=None, time_ns=0):
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if weights is None:
+        weights = np.ones_like(addresses)
+    return AccessBurst(
+        time_ns=time_ns,
+        addresses=addresses,
+        weights=np.asarray(weights, dtype=np.int64),
+    )
+
+
+class TestControlRegisters:
+    def test_paper_configuration_fits(self):
+        registers = ControlRegisters(
+            base_address=0xC0008000,
+            region_size=3_013_284,
+            granularity=2048,
+            interval_ns=10_000_000,
+        )
+        assert registers.spec.num_cells == 1472
+        assert registers.spec.num_cells <= MAX_CELLS
+
+    def test_too_many_cells_rejected(self):
+        # The paper's region at 1 KB would need 2,943 cells > 2,048.
+        with pytest.raises(MemometerConfigError, match="exceed"):
+            ControlRegisters(
+                base_address=0xC0008000,
+                region_size=3_013_284,
+                granularity=1024,
+                interval_ns=10_000_000,
+            )
+
+    def test_max_cells_is_8kb_of_counters(self):
+        assert MAX_CELLS == 2048  # 8 KB / 4 B
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(MemometerConfigError, match="interval"):
+            make_registers(interval=0)
+
+    def test_bad_granularity_propagates(self):
+        with pytest.raises(ValueError):
+            make_registers(granularity=1000)
+
+
+class TestScalarDatapath:
+    def test_in_region_increment(self):
+        memometer = Memometer(make_registers())
+        assert memometer.observe(0x1000)
+        assert memometer.active_counts()[0] == 1
+
+    def test_out_of_region_filtered(self):
+        memometer = Memometer(make_registers())
+        assert not memometer.observe(0x0FFF)
+        assert not memometer.observe(0x1800)
+        assert memometer.active_counts().sum() == 0
+        assert memometer.accepted_accesses == 0
+        assert memometer.snooped_accesses == 2
+
+    def test_shift_indexing(self):
+        memometer = Memometer(make_registers())
+        memometer.observe(0x1000 + 0x100)  # cell 1
+        memometer.observe(0x1000 + 0x2FF)  # cell 2
+        counts = memometer.active_counts()
+        assert counts[1] == 1
+        assert counts[2] == 1
+
+    def test_saturation_at_counter_max(self):
+        memometer = Memometer(make_registers())
+        memometer.observe(0x1000, weight=COUNTER_MAX)
+        memometer.observe(0x1000, weight=5)
+        assert memometer.active_counts()[0] == COUNTER_MAX
+
+
+class TestVectorDatapath:
+    def test_burst_filtering_and_counting(self):
+        memometer = Memometer(make_registers())
+        burst = make_burst([0x1000, 0x1100, 0x0F00, 0x17FF], [1, 2, 100, 3])
+        memometer.observe_burst(burst)
+        counts = memometer.active_counts()
+        assert counts[0] == 1
+        assert counts[1] == 2
+        assert counts[7] == 3
+        assert memometer.accepted_accesses == 6
+        assert memometer.snooped_accesses == 106
+
+    def test_empty_burst(self):
+        memometer = Memometer(make_registers())
+        memometer.observe_burst(make_burst([]))
+        assert memometer.active_counts().sum() == 0
+
+    def test_burst_saturation(self):
+        memometer = Memometer(make_registers())
+        memometer.observe_burst(make_burst([0x1000], [COUNTER_MAX]))
+        memometer.observe_burst(make_burst([0x1000], [COUNTER_MAX]))
+        assert memometer.active_counts()[0] == COUNTER_MAX
+
+    @given(
+        offsets=st.lists(
+            st.tuples(
+                st.integers(min_value=-0x400, max_value=0xC00),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vector_path_matches_scalar_path(self, offsets):
+        """The fast path must be bit-identical to the hardware formula."""
+        scalar = Memometer(make_registers())
+        vector = Memometer(make_registers())
+        addresses = np.array([0x1000 + off for off, _ in offsets], dtype=np.int64)
+        weights = np.array([w for _, w in offsets], dtype=np.int64)
+        if len(offsets):
+            vector.observe_burst(make_burst(addresses, weights))
+        for address, weight in zip(addresses, weights):
+            scalar.observe(int(address), weight=int(weight))
+        np.testing.assert_array_equal(scalar.active_counts(), vector.active_counts())
+        assert scalar.accepted_accesses == vector.accepted_accesses
+
+
+class TestDoubleBuffering:
+    def test_boundary_returns_completed_map(self):
+        memometer = Memometer(make_registers())
+        memometer.observe(0x1000)
+        heat_map = memometer.interval_boundary(time_ns=10_000_000)
+        assert heat_map.counts[0] == 1
+        assert heat_map.interval_index == 0
+
+    def test_active_buffer_alternates(self):
+        memometer = Memometer(make_registers())
+        assert memometer.active_buffer_index == 0
+        memometer.interval_boundary(10_000_000)
+        assert memometer.active_buffer_index == 1
+        memometer.interval_boundary(20_000_000)
+        assert memometer.active_buffer_index == 0
+
+    def test_counts_do_not_leak_across_intervals(self):
+        memometer = Memometer(make_registers())
+        memometer.observe(0x1000, weight=7)
+        first = memometer.interval_boundary(10_000_000)
+        memometer.observe(0x1100, weight=3)
+        second = memometer.interval_boundary(20_000_000)
+        assert first.counts[0] == 7 and first.counts[1] == 0
+        assert second.counts[0] == 0 and second.counts[1] == 3
+        # Third interval reuses buffer 0, which must have been reset.
+        third = memometer.interval_boundary(30_000_000)
+        assert third.total_accesses == 0
+
+    def test_monitoring_continues_during_analysis(self):
+        """Accesses right after the swap land in the new active buffer."""
+        memometer = Memometer(make_registers())
+        completed = memometer.interval_boundary(10_000_000)
+        memometer.observe(0x1000)
+        assert completed.counts[0] == 0
+        assert memometer.active_counts()[0] == 1
+
+    def test_interval_metadata(self):
+        memometer = Memometer(make_registers())
+        memometer.interval_boundary(10_000_000)
+        second = memometer.interval_boundary(20_000_000)
+        assert second.interval_index == 1
+        assert second.start_time_ns == 10_000_000
+        assert memometer.intervals_completed == 2
+
+    def test_on_heatmap_callback(self):
+        received = []
+        memometer = Memometer(make_registers(), on_heatmap=received.append)
+        memometer.observe(0x1000)
+        memometer.interval_boundary(10_000_000)
+        assert len(received) == 1
+        assert received[0].counts[0] == 1
+
+
+class TestStatistics:
+    def test_drop_rate(self):
+        memometer = Memometer(make_registers())
+        memometer.observe(0x1000)
+        memometer.observe(0x0)
+        assert memometer.drop_rate == pytest.approx(0.5)
+
+    def test_drop_rate_empty(self):
+        assert Memometer(make_registers()).drop_rate == 0.0

@@ -1,0 +1,42 @@
+"""Whole-stack reproducibility: identical seeds, identical results."""
+
+import numpy as np
+
+from repro.attacks import SyscallHijackRootkit
+from repro.learn.detector import MhmDetector
+from repro.pipeline.scenario import ScenarioRunner
+from repro.sim.platform import Platform, PlatformConfig
+
+
+class TestDeterminism:
+    def test_scenario_bitwise_reproducible(self):
+        results = []
+        for _ in range(2):
+            platform = Platform(PlatformConfig(seed=77))
+            runner = ScenarioRunner(platform)
+            result = runner.run(
+                SyscallHijackRootkit(), pre_intervals=20, attack_intervals=20
+            )
+            results.append(result.series.matrix())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_detector_training_reproducible(self):
+        training = Platform(PlatformConfig(seed=78)).collect_intervals(120)
+        scores = []
+        for _ in range(2):
+            detector = MhmDetector(em_restarts=2, seed=5).fit(training)
+            scores.append(detector.score_series(training))
+        np.testing.assert_allclose(scores[0], scores[1], rtol=1e-12)
+
+    def test_full_pipeline_reproducible(self):
+        def run_once():
+            config = PlatformConfig(seed=79)
+            training = Platform(config).collect_intervals(100)
+            detector = MhmDetector(em_restarts=2, seed=1).fit(training)
+            platform = Platform(config.with_seed(80))
+            result = ScenarioRunner(platform).run(
+                SyscallHijackRootkit(), pre_intervals=10, attack_intervals=10
+            )
+            return detector.log10_series(result.series)
+
+        np.testing.assert_allclose(run_once(), run_once(), rtol=1e-12)

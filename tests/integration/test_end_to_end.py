@@ -1,0 +1,152 @@
+"""End-to-end reproduction checks (quick scale).
+
+These tests assert the *shape* claims of the paper's evaluation
+(Section 5.3) on the reduced QUICK_SCALE protocol; the full-scale
+numbers live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learn.baselines import TrafficVolumeDetector
+from repro.learn.metrics import roc_auc_from_scores
+from repro.pipeline.experiments import (
+    run_app_launch_experiment,
+    run_rootkit_experiment,
+    run_shellcode_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def app_launch(quick_artifacts):
+    return run_app_launch_experiment(quick_artifacts)
+
+
+@pytest.fixture(scope="module")
+def shellcode(quick_artifacts):
+    return run_shellcode_experiment(quick_artifacts)
+
+
+@pytest.fixture(scope="module")
+def rootkit(quick_artifacts):
+    return run_rootkit_experiment(quick_artifacts)
+
+
+class TestScenario1AppLaunch:
+    """Figure 7: qsort launched and later exited."""
+
+    def test_low_false_positives_before_attack(self, app_launch):
+        assert app_launch.pre_attack_fpr(0.5) <= 0.02
+        assert app_launch.pre_attack_fpr(1.0) <= 0.05
+
+    def test_densities_drop_after_launch(self, app_launch):
+        densities = app_launch.log10_densities
+        pre = densities[: app_launch.scenario.attack_interval]
+        active = densities[app_launch.ground_truth]
+        assert np.median(active) < np.median(pre) - 5
+
+    def test_majority_of_active_intervals_flagged(self, app_launch):
+        assert app_launch.attack_detection_rate(1.0) >= 0.35
+
+    def test_detected_quickly(self, app_launch):
+        assert 0 <= app_launch.detection_latency_intervals(1.0) <= 5
+
+    def test_recovery_after_exit(self, app_launch):
+        """Densities return toward the normal band once qsort exits."""
+        assert app_launch.post_revert_fpr(1.0) <= 0.35
+        densities = app_launch.log10_densities
+        stop = app_launch.scenario.revert_interval
+        post = densities[stop + 3 :]
+        active = densities[app_launch.ground_truth]
+        assert np.median(post) > np.median(active) + 3
+
+    def test_scores_separate_by_auc(self, app_launch):
+        auc = roc_auc_from_scores(
+            -app_launch.log10_densities, app_launch.ground_truth
+        )
+        assert auc >= 0.80
+
+
+class TestScenario2Shellcode:
+    """Figure 8: ASLR-disabling shellcode kills bitcount."""
+
+    def test_low_false_positives_before_attack(self, shellcode):
+        assert shellcode.pre_attack_fpr(1.0) <= 0.05
+
+    def test_persistent_density_drop(self, shellcode):
+        densities = shellcode.log10_densities
+        start = shellcode.scenario.attack_interval
+        pre_median = np.median(densities[:start])
+        # The host is gone for good; every post-attack window stays low.
+        for begin in range(start, len(densities) - 10, 10):
+            window = densities[begin : begin + 10]
+            assert np.median(window) < pre_median - 3
+
+    def test_majority_flagged(self, shellcode):
+        assert shellcode.attack_detection_rate(1.0) >= 0.5
+
+    def test_detected_immediately(self, shellcode):
+        assert 0 <= shellcode.detection_latency_intervals(1.0) <= 2
+
+
+class TestScenario3Rootkit:
+    """Figures 9 and 10: LKM hijacks the read syscall."""
+
+    def test_load_interval_flagged_by_mhm(self, rootkit):
+        load = rootkit.scenario.attack_interval
+        assert rootkit.flags(1.0)[load] or rootkit.flags(1.0)[load + 1]
+
+    def test_load_spike_in_traffic_volume(self, rootkit):
+        volumes = rootkit.traffic_volumes()
+        load = rootkit.scenario.attack_interval
+        assert volumes[load] > 3 * np.median(volumes)
+
+    def test_post_hijack_traffic_volume_looks_normal(
+        self, rootkit, quick_artifacts
+    ):
+        """Figure 9's point: the volume baseline cannot see the hijack."""
+        baseline = TrafficVolumeDetector(p_percent=0.5).fit(
+            quick_artifacts.data.training
+        )
+        flags = baseline.classify_series(rootkit.scenario.series)
+        post = flags[rootkit.scenario.attack_interval + 2 :]
+        assert post.mean() <= 0.02
+
+    def test_mhm_detector_sees_intermittent_drift(self, rootkit):
+        """Figure 10: 'somewhat low probability densities, though not
+        always statistically distinguishable'."""
+        rate = rootkit.attack_detection_rate(1.0)
+        assert 0.03 <= rate <= 0.8
+        densities = rootkit.log10_densities
+        start = rootkit.scenario.attack_interval
+        assert np.median(densities[start + 2 :]) <= np.median(densities[:start])
+
+    def test_mhm_beats_volume_after_load(self, rootkit, quick_artifacts):
+        baseline = TrafficVolumeDetector(p_percent=1.0).fit(
+            quick_artifacts.data.training
+        )
+        start = rootkit.scenario.attack_interval
+        volume_hits = baseline.classify_series(rootkit.scenario.series)[
+            start + 2 :
+        ].sum()
+        mhm_hits = rootkit.flags(1.0)[start + 2 :].sum()
+        assert mhm_hits > volume_hits
+
+
+class TestCrossScenarioConsistency:
+    def test_pre_attack_behaviour_consistent(self, app_launch, shellcode):
+        """Both scenarios boot the same seed: identical normal prefixes
+        must score identically."""
+        n = min(
+            app_launch.scenario.attack_interval, shellcode.scenario.attack_interval
+        )
+        np.testing.assert_allclose(
+            app_launch.log10_densities[:n], shellcode.log10_densities[:n]
+        )
+
+    def test_thresholds_shared(self, app_launch, shellcode, rootkit):
+        assert (
+            app_launch.log10_thresholds
+            == shellcode.log10_thresholds
+            == rootkit.log10_thresholds
+        )

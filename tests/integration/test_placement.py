@@ -1,0 +1,57 @@
+"""Integration checks for the Memometer placement ablation (Section 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.detector import MhmDetector
+from repro.sim.platform import Platform, PlatformConfig
+
+
+def train_and_score(placement, train_intervals=150, test_intervals=60):
+    """Train a small detector at a placement; return (normal FPR, spike flag)."""
+    config = PlatformConfig(seed=41, placement=placement)
+    training = Platform(config).collect_intervals(train_intervals)
+    validation = Platform(config.with_seed(42)).collect_intervals(train_intervals)
+    detector = MhmDetector(em_restarts=2, seed=0).fit(training, validation)
+
+    test_platform = Platform(config.with_seed(43))
+    normal = test_platform.collect_intervals(test_intervals)
+    fpr = detector.classify_series(normal, 1.0).mean()
+    return detector, test_platform, fpr
+
+
+class TestPlacementAblation:
+    def test_pre_l1_baseline_works(self):
+        _, _, fpr = train_and_score("pre-l1")
+        assert fpr <= 0.10
+
+    def test_post_l1_still_usable(self):
+        """The paper's conjecture: accuracy drop 'would not be
+        significant' one level down."""
+        detector, platform, fpr = train_and_score("post-l1")
+        assert fpr <= 0.25
+        # A gross anomaly is still caught post-L1.
+        from repro.attacks import SyscallHijackRootkit
+
+        SyscallHijackRootkit().inject(platform)
+        spike = platform.collect_intervals(2)
+        assert detector.classify_series(spike, 1.0).any()
+
+    def test_information_loss_monotone_in_depth(self):
+        """Counts shrink as the snoop point moves down the hierarchy."""
+        volumes = {}
+        for placement in ("pre-l1", "post-l1", "post-l2"):
+            platform = Platform(PlatformConfig(seed=44, placement=placement))
+            volumes[placement] = (
+                platform.collect_intervals(30).traffic_volumes().sum()
+            )
+        assert volumes["pre-l1"] > volumes["post-l1"] > volumes["post-l2"]
+
+    def test_weight_information_destroyed_by_cache(self):
+        """Pre-L1 sees repetition counts; post-L1 sees at most one
+        access per line per burst."""
+        pre = Platform(PlatformConfig(seed=45, placement="pre-l1"))
+        post = Platform(PlatformConfig(seed=45, placement="post-l1"))
+        pre_map = pre.collect_intervals(5).matrix()
+        post_map = post.collect_intervals(5).matrix()
+        assert pre_map.max() > 10 * post_map.max()

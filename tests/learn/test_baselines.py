@@ -1,0 +1,110 @@
+"""Tests for the baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.learn.baselines import (
+    HotCellSetDetector,
+    NearestNeighborDetector,
+    TrafficVolumeDetector,
+)
+
+
+def normal_data(n=300, dim=40, seed=0):
+    """Heat-map-like data: a stable hot set plus Poisson noise."""
+    rng = np.random.default_rng(seed)
+    base = np.zeros(dim)
+    base[5:15] = 200.0
+    return base + rng.poisson(10.0, size=(n, dim)), base
+
+
+class TestTrafficVolume:
+    def test_normal_data_mostly_passes(self):
+        data, _ = normal_data()
+        detector = TrafficVolumeDetector(p_percent=1.0).fit(data)
+        assert detector.classify_series(data).mean() < 0.05
+
+    def test_flags_volume_spike(self):
+        data, base = normal_data()
+        detector = TrafficVolumeDetector().fit(data)
+        spike = data[0] * 5
+        assert detector.is_anomalous(spike)
+
+    def test_flags_volume_drop(self):
+        data, _ = normal_data()
+        detector = TrafficVolumeDetector().fit(data)
+        assert detector.is_anomalous(data[0] * 0.2)
+
+    def test_blind_to_redistribution(self):
+        """The paper's criticism: same total, different shape -> missed."""
+        data, base = normal_data()
+        detector = TrafficVolumeDetector().fit(data)
+        shuffled = np.roll(data[0], 17)  # same volume, different cells
+        assert not detector.is_anomalous(shuffled)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficVolumeDetector(p_percent=0.0)
+        with pytest.raises(ValueError):
+            TrafficVolumeDetector(p_percent=60.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TrafficVolumeDetector().is_anomalous(np.zeros(5))
+
+
+class TestHotCellSet:
+    def test_normal_data_passes(self):
+        data, _ = normal_data()
+        detector = HotCellSetDetector(top_k=10, tolerance=3).fit(data)
+        assert detector.classify_series(data[:50]).mean() < 0.1
+
+    def test_flags_relocated_hot_set(self):
+        data, _ = normal_data()
+        detector = HotCellSetDetector(top_k=10, tolerance=2).fit(data)
+        moved = np.roll(data[0], 20)
+        assert detector.is_anomalous(moved)
+
+    def test_signature_count_bounded(self):
+        data, _ = normal_data()
+        detector = HotCellSetDetector(top_k=10).fit(data)
+        assert 1 <= detector.num_signatures <= len(data)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HotCellSetDetector(top_k=0)
+        with pytest.raises(ValueError):
+            HotCellSetDetector(tolerance=-1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HotCellSetDetector().is_anomalous(np.zeros(5))
+
+
+class TestNearestNeighbor:
+    def test_normal_data_mostly_passes(self):
+        data, _ = normal_data()
+        detector = NearestNeighborDetector(p_percent=99.0).fit(data)
+        assert detector.classify_series(data[:50]).mean() < 0.1
+
+    def test_flags_far_point(self):
+        data, _ = normal_data()
+        detector = NearestNeighborDetector().fit(data)
+        assert detector.is_anomalous(data[0] + 1000.0)
+
+    def test_nearest_distance_zero_for_training_point(self):
+        data, _ = normal_data()
+        detector = NearestNeighborDetector().fit(data)
+        assert detector.nearest_distance(data[0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="two"):
+            NearestNeighborDetector().fit(np.zeros((1, 5)))
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            NearestNeighborDetector(p_percent=40.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NearestNeighborDetector().is_anomalous(np.zeros(5))

@@ -1,0 +1,109 @@
+"""Tests for the evaluation-statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro.learn.evaluation import (
+    bootstrap_threshold_interval,
+    kfold_fpr,
+    summarize_detections,
+)
+
+
+class TestBootstrapThreshold:
+    def test_interval_contains_point(self):
+        rng = np.random.default_rng(0)
+        densities = rng.normal(size=500)
+        interval = bootstrap_threshold_interval(densities, 1.0, seed=1)
+        assert interval.low <= interval.point <= interval.high
+        assert interval.width > 0
+
+    def test_more_data_tightens_interval(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_threshold_interval(rng.normal(size=100), 1.0, seed=1)
+        large = bootstrap_threshold_interval(rng.normal(size=5000), 1.0, seed=1)
+        assert large.width < small.width
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            bootstrap_threshold_interval(np.zeros(5), 1.0)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_threshold_interval(np.zeros(100), 1.0, confidence=1.5)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(0)
+        densities = rng.normal(size=200)
+        a = bootstrap_threshold_interval(densities, 1.0, seed=5)
+        b = bootstrap_threshold_interval(densities, 1.0, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestKFoldFpr:
+    def test_achieved_fpr_near_nominal(self):
+        rng = np.random.default_rng(0)
+        densities = rng.normal(size=10_000)
+        rates = kfold_fpr(densities, p_percent=1.0, num_folds=5, seed=1)
+        assert rates.shape == (5,)
+        assert rates.mean() == pytest.approx(0.01, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kfold_fpr(np.zeros(100), 1.0, num_folds=1)
+        with pytest.raises(ValueError, match="not enough"):
+            kfold_fpr(np.zeros(5), 1.0, num_folds=5)
+
+
+class TestSummarizeDetections:
+    def _perfect_run(self, seed):
+        truth = np.zeros(100, dtype=bool)
+        truth[50:] = True
+        return truth.copy(), truth, 50
+
+    def test_perfect_detector(self):
+        summary = summarize_detections(self._perfect_run, seeds=range(5))
+        assert summary.num_runs == 5
+        assert summary.fpr_mean == 0.0
+        assert summary.tpr_mean == 1.0
+        assert summary.latency_mean == 0.0
+        assert summary.missed_runs == 0
+
+    def test_missed_runs_counted(self):
+        def blind_run(seed):
+            truth = np.zeros(20, dtype=bool)
+            truth[10:] = True
+            return np.zeros(20, dtype=bool), truth, 10
+
+        summary = summarize_detections(blind_run, seeds=range(3))
+        assert summary.missed_runs == 3
+        assert summary.latency_max == -1
+        assert np.isnan(summary.latency_mean)
+
+    def test_rows_render(self):
+        summary = summarize_detections(self._perfect_run, seeds=[1])
+        rows = summary.as_rows()
+        assert any("FPR" in str(row[0]) for row in rows)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_detections(self._perfect_run, seeds=[])
+
+    def test_on_real_detector(self, quick_artifacts):
+        """End-to-end: replicate the shellcode scenario across seeds."""
+        from repro.pipeline.experiments import run_shellcode_experiment
+
+        def run(seed):
+            outcome = run_shellcode_experiment(
+                quick_artifacts, scenario_seed=seed
+            )
+            return (
+                outcome.flags(1.0),
+                outcome.ground_truth,
+                outcome.scenario.attack_interval,
+            )
+
+        summary = summarize_detections(run, seeds=[1001, 1002, 1003])
+        assert summary.fpr_mean <= 0.05
+        assert summary.tpr_mean >= 0.4
+        assert summary.missed_runs == 0

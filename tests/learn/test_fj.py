@@ -1,0 +1,77 @@
+"""Tests for Figueiredo-Jain automatic component selection."""
+
+import numpy as np
+import pytest
+
+from repro.learn.fj import FigueiredoJainGmm
+
+
+def blobs(component_means, n_per=120, seed=0, spread=0.5):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [
+            np.asarray(m) + rng.normal(scale=spread, size=(n_per, len(m)))
+            for m in component_means
+        ]
+    )
+
+
+class TestSelection:
+    def test_recovers_three_components(self):
+        data = blobs([[0, 0], [10, 0], [0, 10]], n_per=300, spread=0.3)
+        model = FigueiredoJainGmm(max_components=10, seed=0).fit(data)
+        assert model.num_components_ == 3
+
+    def test_never_overshoots_badly(self):
+        """On looser blobs MML may keep one extra component, never many."""
+        data = blobs([[0, 0], [10, 0], [0, 10]], n_per=120, spread=0.5)
+        model = FigueiredoJainGmm(max_components=10, seed=0).fit(data)
+        assert 3 <= model.num_components_ <= 4
+
+    def test_recovers_two_components(self):
+        data = blobs([[0, 0], [12, 12]])
+        model = FigueiredoJainGmm(max_components=8, seed=0).fit(data)
+        assert model.num_components_ == 2
+
+    def test_single_blob_collapses_to_one(self):
+        data = blobs([[0, 0]], n_per=300)
+        model = FigueiredoJainGmm(max_components=6, seed=0).fit(data)
+        assert model.num_components_ <= 2
+
+    def test_history_is_populated(self):
+        data = blobs([[0, 0], [10, 0]])
+        model = FigueiredoJainGmm(max_components=6, seed=0).fit(data)
+        assert model.history_
+        assert all(length > -np.inf for _, length in model.history_)
+        assert model.message_length_ == min(length for _, length in model.history_)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            FigueiredoJainGmm(max_components=2, min_components=3)
+        with pytest.raises(ValueError):
+            FigueiredoJainGmm(min_components=0)
+
+    def test_bad_data_shape(self):
+        with pytest.raises(ValueError, match="matrix"):
+            FigueiredoJainGmm().fit(np.zeros(10))
+
+
+class TestScoring:
+    def test_scores_finite_and_separating(self):
+        data = blobs([[0, 0], [10, 0], [0, 10]])
+        model = FigueiredoJainGmm(max_components=10, seed=0).fit(data)
+        scores = model.score_samples(data)
+        assert np.isfinite(scores).all()
+        outlier = model.score_samples(np.array([[100.0, 100.0]]))
+        assert outlier[0] < scores.mean() - 10
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FigueiredoJainGmm().score_samples(np.zeros((1, 2)))
+
+    def test_model_usable_as_gmm(self):
+        data = blobs([[0, 0], [10, 0]])
+        model = FigueiredoJainGmm(max_components=6, seed=0).fit(data)
+        assert model.model_.parameters.weights.sum() == pytest.approx(1.0)
+        labels = model.model_.predict_component(data)
+        assert len(np.unique(labels)) == model.num_components_

@@ -1,0 +1,80 @@
+"""Tests for the multivariate Gaussian utilities."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.learn.gaussian import (
+    mvn_logpdf,
+    mvn_logpdf_from_cholesky,
+    regularized_cholesky,
+)
+
+
+class TestRegularizedCholesky:
+    def test_already_positive_definite(self):
+        cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+        factor = regularized_cholesky(cov, ridge=0.0 + 1e-12)
+        np.testing.assert_allclose(factor @ factor.T, cov, atol=1e-6)
+
+    def test_singular_matrix_regularized(self):
+        cov = np.ones((3, 3))  # rank 1
+        factor = regularized_cholesky(cov, ridge=1e-6)
+        assert np.isfinite(factor).all()
+        assert (np.diag(factor) > 0).all()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            regularized_cholesky(np.ones((2, 3)))
+
+    def test_escalating_ridge(self):
+        """A (slightly) negative-definite input still factorises."""
+        cov = np.array([[1.0, 0.0], [0.0, -1e-9]])
+        factor = regularized_cholesky(cov, ridge=1e-8)
+        assert np.isfinite(factor).all()
+
+
+class TestLogPdf:
+    def test_matches_scipy_isotropic(self):
+        rng = np.random.default_rng(0)
+        mean = rng.normal(size=4)
+        cov = np.eye(4) * 2.5
+        x = rng.normal(size=(20, 4))
+        expected = stats.multivariate_normal(mean=mean, cov=cov).logpdf(x)
+        np.testing.assert_allclose(mvn_logpdf(x, mean, cov), expected, atol=1e-8)
+
+    def test_matches_scipy_full_covariance(self):
+        rng = np.random.default_rng(1)
+        mean = rng.normal(size=3)
+        a = rng.normal(size=(3, 3))
+        cov = a @ a.T + 0.5 * np.eye(3)
+        x = rng.normal(size=(50, 3))
+        expected = stats.multivariate_normal(mean=mean, cov=cov).logpdf(x)
+        np.testing.assert_allclose(mvn_logpdf(x, mean, cov), expected, atol=1e-7)
+
+    def test_single_point(self):
+        value = mvn_logpdf(np.zeros(2), np.zeros(2), np.eye(2))
+        expected = -np.log(2 * np.pi)  # standard normal at the mean
+        np.testing.assert_allclose(value, [expected])
+
+    def test_density_maximised_at_mean(self):
+        mean = np.array([1.0, -2.0])
+        cov = np.diag([0.5, 2.0])
+        at_mean = mvn_logpdf(mean, mean, cov)[0]
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            elsewhere = mean + rng.normal(size=2)
+            assert mvn_logpdf(elsewhere, mean, cov)[0] <= at_mean
+
+    def test_cholesky_variant_consistent(self):
+        rng = np.random.default_rng(3)
+        mean = rng.normal(size=3)
+        a = rng.normal(size=(3, 3))
+        cov = a @ a.T + np.eye(3)
+        x = rng.normal(size=(10, 3))
+        factor = np.linalg.cholesky(cov)
+        np.testing.assert_allclose(
+            mvn_logpdf_from_cholesky(x, mean, factor),
+            stats.multivariate_normal(mean=mean, cov=cov).logpdf(x),
+            atol=1e-8,
+        )

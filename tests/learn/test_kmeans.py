@@ -1,0 +1,83 @@
+"""Tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.learn.kmeans import kmeans, kmeans_plus_plus_init
+
+
+def three_blobs(n_per=50, seed=0, spread=0.2):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.concatenate(
+        [c + rng.normal(scale=spread, size=(n_per, 2)) for c in centers]
+    )
+    return points, centers
+
+
+class TestInit:
+    def test_seeds_are_data_points(self):
+        points, _ = three_blobs()
+        rng = np.random.default_rng(1)
+        centers = kmeans_plus_plus_init(points, 3, rng)
+        for center in centers:
+            assert any(np.allclose(center, p) for p in points)
+
+    def test_too_many_centers_rejected(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="seed"):
+            kmeans_plus_plus_init(points, 4, np.random.default_rng(0))
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        centers = kmeans_plus_plus_init(points, 3, np.random.default_rng(0))
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, true_centers = three_blobs()
+        result = kmeans(points, 3, np.random.default_rng(0))
+        assert result.converged
+        # Each true center has a recovered center nearby.
+        for true_center in true_centers:
+            distances = np.linalg.norm(result.centers - true_center, axis=1)
+            assert distances.min() < 0.5
+
+    def test_labels_consistent_with_centers(self):
+        points, _ = three_blobs()
+        result = kmeans(points, 3, np.random.default_rng(0))
+        for i, point in enumerate(points):
+            distances = np.linalg.norm(result.centers - point, axis=1)
+            assert result.labels[i] == distances.argmin()
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _ = three_blobs()
+        inertia_1 = kmeans(points, 1, np.random.default_rng(0)).inertia
+        inertia_3 = kmeans(points, 3, np.random.default_rng(0)).inertia
+        assert inertia_3 < inertia_1
+
+    def test_k_one_gives_centroid(self):
+        points, _ = three_blobs()
+        result = kmeans(points, 1, np.random.default_rng(0))
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0))
+
+    def test_deterministic_for_fixed_seed(self):
+        points, _ = three_blobs()
+        a = kmeans(points, 3, np.random.default_rng(5))
+        b = kmeans(points, 3, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.centers, b.centers)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="matrix"):
+            kmeans(np.zeros(5), 2, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="k"):
+            kmeans(np.zeros((5, 2)), 0, np.random.default_rng(0))
+
+    def test_exactly_k_centers_even_with_duplicates(self):
+        """Empty clusters are reseeded, never dropped."""
+        points = np.concatenate([np.zeros((30, 2)), np.ones((2, 2)) * 100])
+        result = kmeans(points, 3, np.random.default_rng(0))
+        assert result.centers.shape == (3, 2)
+        assert len(np.unique(result.labels)) <= 3

@@ -1,0 +1,169 @@
+"""Tests for the eigenmemory (PCA) transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.series import HeatMapSeries
+from repro.core.spec import HeatMapSpec
+from repro.learn.pca import Eigenmemory
+
+
+def low_rank_data(n=200, dim=50, rank=3, seed=0, noise=0.0):
+    """Synthetic data with a known intrinsic dimensionality."""
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(rank, dim))
+    weights = rng.normal(size=(n, rank)) * np.array([10.0, 5.0, 2.0][:rank])
+    data = weights @ basis + 100.0
+    if noise:
+        data = data + rng.normal(scale=noise, size=data.shape)
+    return data
+
+
+class TestFitting:
+    def test_mean_is_empirical_mean(self):
+        data = low_rank_data()
+        model = Eigenmemory(num_components=3).fit(data)
+        np.testing.assert_allclose(model.mean_, data.mean(axis=0))
+
+    def test_components_are_orthonormal(self):
+        model = Eigenmemory(num_components=3).fit(low_rank_data())
+        gram = model.components_ @ model.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_eigenvalues_descending(self):
+        model = Eigenmemory(num_components=3).fit(low_rank_data(noise=0.1))
+        assert (np.diff(model.eigenvalues_) <= 1e-9).all()
+
+    def test_rank_detected_by_variance_target(self):
+        """Rank-3 data: 3 components must explain ~100 % of variance."""
+        model = Eigenmemory(variance_target=0.9999).fit(low_rank_data())
+        assert model.num_components_ == 3
+        assert model.retained_variance_ >= 0.9999
+
+    def test_explicit_component_count(self):
+        model = Eigenmemory(num_components=2).fit(low_rank_data())
+        assert model.num_components_ == 2
+
+    def test_component_count_capped_by_data(self):
+        data = low_rank_data(n=5, dim=20)
+        model = Eigenmemory(num_components=50).fit(data)
+        assert model.num_components_ <= 5
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="two"):
+            Eigenmemory().fit(np.ones((1, 10)))
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(ValueError, match="zero variance"):
+            Eigenmemory().fit(np.ones((10, 5)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Eigenmemory(num_components=0)
+        with pytest.raises(ValueError):
+            Eigenmemory(variance_target=0.0)
+        with pytest.raises(ValueError):
+            Eigenmemory(variance_target=1.5)
+
+    def test_fit_from_series(self, small_spec):
+        rng = np.random.default_rng(0)
+        matrix = rng.integers(0, 100, size=(20, small_spec.num_cells))
+        series = HeatMapSeries.from_matrix(small_spec, matrix)
+        model = Eigenmemory(num_components=2).fit(series)
+        assert model.components_.shape == (2, small_spec.num_cells)
+
+    def test_components_for_variance(self):
+        model = Eigenmemory(num_components=1).fit(low_rank_data(noise=0.01))
+        # Even though only 1 was kept, the full spectrum is retained
+        # for the selection diagnostics.
+        assert model.components_for_variance(0.9999) >= 3
+
+
+class TestTransform:
+    def test_paper_eq1_projection(self):
+        """M' = u^T (M - Psi), verified against direct computation."""
+        data = low_rank_data()
+        model = Eigenmemory(num_components=3).fit(data)
+        sample = data[7]
+        expected = model.components_ @ (sample - model.mean_)
+        np.testing.assert_allclose(model.transform(sample[np.newaxis])[0], expected)
+
+    def test_roundtrip_exact_on_full_rank(self):
+        data = low_rank_data()  # rank 3, no noise
+        model = Eigenmemory(num_components=3).fit(data)
+        reconstructed = model.inverse_transform(model.transform(data))
+        np.testing.assert_allclose(reconstructed, data, atol=1e-8)
+
+    def test_reconstruction_error_decreases_with_components(self):
+        data = low_rank_data(noise=1.0)
+        errors = []
+        for k in (1, 2, 3):
+            model = Eigenmemory(num_components=k).fit(data)
+            errors.append(model.reconstruction_error(data).mean())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_transform_one_heatmap(self, small_spec):
+        from repro.core.mhm import MemoryHeatMap
+
+        rng = np.random.default_rng(0)
+        matrix = rng.integers(0, 100, size=(20, small_spec.num_cells))
+        model = Eigenmemory(num_components=2).fit(matrix.astype(float))
+        heat_map = MemoryHeatMap(small_spec, matrix[0])
+        weights = model.transform_one(heat_map)
+        assert weights.shape == (2,)
+
+    def test_dimension_mismatch_rejected(self):
+        model = Eigenmemory(num_components=2).fit(low_rank_data(dim=50))
+        with pytest.raises(ValueError, match="cells"):
+            model.transform(np.ones((1, 49)))
+        with pytest.raises(ValueError, match="weights"):
+            model.inverse_transform(np.ones(5))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not been fitted"):
+            Eigenmemory().transform(np.ones((1, 5)))
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        data = low_rank_data(noise=0.5)
+        model = Eigenmemory(num_components=3).fit(data)
+        restored = Eigenmemory.from_arrays(model.to_arrays())
+        np.testing.assert_allclose(restored.transform(data), model.transform(data))
+        assert restored.num_components_ == 3
+
+
+class TestProperties:
+    @given(
+        data=arrays(
+            dtype=np.float64,
+            shape=st.tuples(
+                st.integers(min_value=5, max_value=20),
+                st.integers(min_value=3, max_value=15),
+            ),
+            elements=st.floats(min_value=-1e3, max_value=1e3),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_projection_never_increases_energy(self, data):
+        """||u^T phi|| <= ||phi|| for orthonormal u (Bessel)."""
+        if np.allclose(data.var(axis=0).sum(), 0):
+            return
+        model = Eigenmemory(num_components=2).fit(data)
+        shifted = data - model.mean_
+        projected = model.transform(data)
+        original_norms = np.linalg.norm(shifted, axis=1)
+        projected_norms = np.linalg.norm(projected, axis=1)
+        assert (projected_norms <= original_norms + 1e-6).all()
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_full_rank_reconstruction_is_lossless(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(12, 6))
+        model = Eigenmemory(num_components=6).fit(data)
+        reconstructed = model.inverse_transform(model.transform(data))
+        np.testing.assert_allclose(reconstructed, data, atol=1e-7)

@@ -1,0 +1,109 @@
+"""Tests for the temporal (Markov) extension."""
+
+import numpy as np
+import pytest
+
+from repro.learn.detector import MhmDetector
+from repro.learn.temporal import ComponentTransitionModel, TemporalDetector
+
+
+class TestTransitionModel:
+    def test_learns_deterministic_cycle(self):
+        sequence = np.tile([0, 1, 2], 100)
+        model = ComponentTransitionModel(num_components=3, smoothing=0.01)
+        model.fit([sequence])
+        matrix = model.transition_matrix_
+        assert matrix[0, 1] > 0.95
+        assert matrix[1, 2] > 0.95
+        assert matrix[2, 0] > 0.95
+
+    def test_rows_are_distributions(self):
+        rng = np.random.default_rng(0)
+        model = ComponentTransitionModel(num_components=4)
+        model.fit([rng.integers(0, 4, size=200)])
+        np.testing.assert_allclose(model.transition_matrix_.sum(axis=1), 1.0)
+        assert model.initial_.sum() == pytest.approx(1.0)
+
+    def test_unseen_transition_scores_low_but_finite(self):
+        model = ComponentTransitionModel(num_components=3, smoothing=0.01)
+        model.fit([np.tile([0, 1, 2], 100)])
+        good = model.sequence_log_likelihood(np.array([0, 1, 2, 0, 1, 2]))
+        bad = model.sequence_log_likelihood(np.array([0, 2, 1, 0, 2, 1]))
+        assert np.isfinite(bad)
+        assert bad < good - 5
+
+    def test_per_step_probabilities_shape(self):
+        model = ComponentTransitionModel(num_components=2)
+        model.fit([np.array([0, 1, 0, 1])])
+        steps = model.log_transition_probabilities(np.array([0, 1, 0]))
+        assert steps.shape == (3,)
+        assert model.log_transition_probabilities(np.array([])).size == 0
+
+    def test_stationary_distribution(self):
+        model = ComponentTransitionModel(num_components=3, smoothing=0.01)
+        model.fit([np.tile([0, 1, 2], 200)])
+        pi = model.stationary_distribution()
+        np.testing.assert_allclose(pi, [1 / 3] * 3, atol=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComponentTransitionModel(num_components=0)
+        with pytest.raises(ValueError):
+            ComponentTransitionModel(num_components=2, smoothing=0.0)
+        model = ComponentTransitionModel(num_components=2)
+        with pytest.raises(ValueError, match="at least one"):
+            model.fit([])
+        with pytest.raises(ValueError, match="out of range"):
+            model.fit([np.array([0, 5])])
+        with pytest.raises(RuntimeError):
+            ComponentTransitionModel(2).log_transition_probabilities(np.array([0]))
+
+
+class TestTemporalDetector:
+    @pytest.fixture(scope="class")
+    def temporal(self, quick_artifacts):
+        detector = TemporalDetector(quick_artifacts.detector, p_percent=1.0)
+        detector.fit(
+            quick_artifacts.data.training, quick_artifacts.data.validation
+        )
+        return detector
+
+    def test_requires_fitted_base(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            TemporalDetector(MhmDetector())
+
+    def test_normal_series_mostly_clean(self, temporal, quick_artifacts):
+        from repro.sim.platform import Platform
+
+        platform = Platform(quick_artifacts.config.with_seed(31338))
+        series = platform.collect_intervals(80)
+        flags = temporal.classify_series(series)
+        assert flags.mean() <= 0.15
+
+    def test_flags_superset_of_density_flags(self, temporal, quick_artifacts):
+        series = quick_artifacts.data.validation
+        combined = temporal.classify_series(series)
+        density_only = quick_artifacts.detector.classify_series(series, 1.0)
+        assert (combined | density_only == combined).all()
+
+    def test_phase_scramble_caught_by_transition_channel(
+        self, temporal, quick_artifacts
+    ):
+        """A replayed series of individually-normal maps in a random
+        order is invisible per-interval but lights up the temporal
+        channel."""
+        rng = np.random.default_rng(0)
+        matrix = quick_artifacts.data.validation.matrix()
+        scrambled = matrix[rng.permutation(len(matrix))]
+        density_flags = quick_artifacts.detector.classify_series(scrambled, 1.0)
+        transition_flags = temporal.transition_flags(scrambled)
+        ordered_flags = temporal.transition_flags(matrix)
+        # Per-interval: a permutation changes nothing in distribution.
+        assert abs(density_flags.mean() - 0.01) < 0.05
+        # Temporal: scrambling breaks the hyperperiod order.
+        assert transition_flags.mean() > 3 * max(ordered_flags.mean(), 0.01)
+
+    def test_unfitted_classify_rejected(self, quick_artifacts):
+        detector = TemporalDetector(quick_artifacts.detector)
+        with pytest.raises(RuntimeError):
+            detector.classify_series(quick_artifacts.data.validation)

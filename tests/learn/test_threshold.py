@@ -1,0 +1,77 @@
+"""Tests for threshold calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn.threshold import ThresholdBank, quantile_threshold
+
+
+class TestQuantileThreshold:
+    def test_basic_quantile(self):
+        densities = np.arange(1000, dtype=float)
+        theta = quantile_threshold(densities, 1.0)
+        assert theta == pytest.approx(np.quantile(densities, 0.01))
+
+    def test_expected_fpr_matches_p(self):
+        """Classifying the calibration set itself flags ~p percent."""
+        rng = np.random.default_rng(0)
+        densities = rng.normal(size=10_000)
+        for p in (0.5, 1.0, 5.0):
+            theta = quantile_threshold(densities, p)
+            fpr = (densities < theta).mean()
+            assert fpr == pytest.approx(p / 100.0, abs=0.002)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile_threshold(np.array([]), 1.0)
+
+    def test_bad_p_rejected(self):
+        densities = np.arange(10, dtype=float)
+        with pytest.raises(ValueError):
+            quantile_threshold(densities, 0.0)
+        with pytest.raises(ValueError):
+            quantile_threshold(densities, 100.0)
+
+    @given(
+        p=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_threshold_within_data_range(self, p, seed):
+        rng = np.random.default_rng(seed)
+        densities = rng.normal(size=500)
+        theta = quantile_threshold(densities, p)
+        assert densities.min() <= theta <= densities.max()
+
+
+class TestThresholdBank:
+    def test_calibrate_default_quantiles(self):
+        densities = np.arange(1000, dtype=float)
+        bank = ThresholdBank.calibrate(densities)
+        assert bank.quantiles == [0.5, 1.0]
+        # theta_0.5 <= theta_1: a stricter quantile flags less.
+        assert bank.threshold(0.5) <= bank.threshold(1.0)
+
+    def test_is_anomalous(self):
+        bank = ThresholdBank(thresholds={1.0: -10.0})
+        assert bank.is_anomalous(-11.0, 1.0)
+        assert not bank.is_anomalous(-9.0, 1.0)
+        assert not bank.is_anomalous(-10.0, 1.0)  # strict inequality
+
+    def test_flag_series(self):
+        bank = ThresholdBank(thresholds={1.0: 0.0})
+        flags = bank.flag_series(np.array([-1.0, 1.0, -0.5]), 1.0)
+        np.testing.assert_array_equal(flags, [True, False, True])
+
+    def test_unknown_quantile_raises(self):
+        bank = ThresholdBank(thresholds={1.0: 0.0})
+        with pytest.raises(KeyError, match="available"):
+            bank.threshold(2.0)
+
+    def test_to_mapping_copy(self):
+        bank = ThresholdBank(thresholds={1.0: 0.0})
+        mapping = bank.to_mapping()
+        mapping[1.0] = 99.0
+        assert bank.threshold(1.0) == 0.0

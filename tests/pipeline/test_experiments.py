@@ -1,0 +1,86 @@
+"""Tests for the canonical experiment harness (quick scale)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.experiments import (
+    PAPER_SCALE,
+    QUICK_SCALE,
+    get_reference_artifacts,
+    run_app_launch_experiment,
+    run_rootkit_experiment,
+    run_shellcode_experiment,
+)
+
+
+class TestScales:
+    def test_paper_scale_matches_section_5_2(self):
+        assert PAPER_SCALE.total_training == 3000  # 10 x 300
+        assert PAPER_SCALE.em_restarts == 10
+        assert PAPER_SCALE.validation_intervals == 500
+
+    def test_quick_scale_is_smaller(self):
+        assert QUICK_SCALE.total_training < PAPER_SCALE.total_training
+
+
+class TestArtifacts:
+    def test_cached_between_calls(self, quick_artifacts):
+        again = get_reference_artifacts(QUICK_SCALE)
+        assert again is quick_artifacts
+
+    def test_detector_trained_at_scale(self, quick_artifacts):
+        assert quick_artifacts.data.num_training == QUICK_SCALE.total_training
+        assert quick_artifacts.detector.is_fitted
+
+    def test_cache_bypass(self, quick_artifacts):
+        fresh = get_reference_artifacts(QUICK_SCALE, use_cache=False)
+        assert fresh is not quick_artifacts
+
+
+class TestOutcomes:
+    @pytest.fixture(scope="class")
+    def app_launch(self, quick_artifacts):
+        return run_app_launch_experiment(quick_artifacts)
+
+    def test_summary_fields(self, app_launch):
+        summary = app_launch.summary()
+        for key in (
+            "scenario",
+            "intervals",
+            "attack_interval",
+            "pre_fp_theta_1",
+            "detection_rate_theta_1",
+            "latency_theta_1",
+        ):
+            assert key in summary
+
+    def test_density_arrays_aligned(self, app_launch):
+        assert len(app_launch.log10_densities) == len(app_launch.scenario.series)
+        assert app_launch.ground_truth.shape == app_launch.log10_densities.shape
+
+    def test_flags_respect_threshold(self, app_launch):
+        theta = app_launch.log10_thresholds[1.0]
+        np.testing.assert_array_equal(
+            app_launch.flags(1.0), app_launch.log10_densities < theta
+        )
+
+    def test_fpr_accounting(self, app_launch):
+        start = app_launch.scenario.attack_interval
+        manual = app_launch.flags(1.0)[:start].mean()
+        assert app_launch.pre_attack_fpr(1.0) == pytest.approx(manual)
+
+    def test_traffic_volumes_available(self, app_launch):
+        volumes = app_launch.traffic_volumes()
+        assert volumes.shape == app_launch.log10_densities.shape
+        assert volumes.min() > 0
+
+    def test_scenario_runs_on_unseen_seed(self, quick_artifacts):
+        """The scenario platform seed is outside the training range."""
+        outcome = run_shellcode_experiment(quick_artifacts, scenario_seed=777)
+        assert outcome.scenario.name == "shellcode"
+
+    def test_rootkit_outcome_has_load_interval(self, quick_artifacts):
+        outcome = run_rootkit_experiment(quick_artifacts)
+        load = outcome.scenario.attack_interval
+        volumes = outcome.traffic_volumes()
+        assert volumes[load] > 3 * np.median(volumes)

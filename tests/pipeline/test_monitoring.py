@@ -1,0 +1,86 @@
+"""Tests for online monitoring."""
+
+import pytest
+
+from repro.attacks import ShellcodeAttack
+from repro.learn.detector import MhmDetector
+from repro.pipeline.monitoring import OnlineMonitor
+from repro.sim.platform import Platform
+
+
+@pytest.fixture()
+def monitored(quick_artifacts):
+    platform = Platform(quick_artifacts.config.with_seed(4242))
+    monitor = OnlineMonitor(platform, quick_artifacts.detector, p_percent=1.0)
+    return platform, monitor
+
+
+class TestConstruction:
+    def test_unfitted_detector_rejected(self, quick_artifacts):
+        platform = Platform(quick_artifacts.config)
+        with pytest.raises(RuntimeError, match="fitted"):
+            OnlineMonitor(platform, MhmDetector())
+
+    def test_bad_consecutive_rejected(self, quick_artifacts):
+        platform = Platform(quick_artifacts.config)
+        with pytest.raises(ValueError):
+            OnlineMonitor(
+                platform, quick_artifacts.detector, consecutive_for_alarm=0
+            )
+
+    def test_double_attach_rejected(self, monitored):
+        _, monitor = monitored
+        monitor.attach()
+        with pytest.raises(RuntimeError, match="attached"):
+            monitor.attach()
+
+
+class TestMonitoring:
+    def test_normal_window_is_quiet(self, monitored):
+        _, monitor = monitored
+        report = monitor.monitor(40)
+        assert report.intervals == 40
+        assert report.flag_rate <= 0.1
+        assert report.log_densities.shape == (40,)
+
+    def test_attack_raises_alarm(self, monitored):
+        platform, monitor = monitored
+        monitor.monitor(20)
+        ShellcodeAttack().inject(platform)
+        report = monitor.monitor(30)
+        assert report.flagged >= 10
+        assert report.alarms
+        assert report.first_alarm_interval() is not None
+
+    def test_consecutive_policy_suppresses_singletons(self, quick_artifacts):
+        platform = Platform(quick_artifacts.config.with_seed(4243))
+        monitor = OnlineMonitor(
+            platform,
+            quick_artifacts.detector,
+            p_percent=1.0,
+            consecutive_for_alarm=3,
+        )
+        report = monitor.monitor(60)
+        # Isolated normal-state flags never reach a 3-streak.
+        assert len(report.alarms) == 0
+
+    def test_analysis_fits_interval_budget(self, monitored):
+        """Section 5.4's point: 358 us of analysis inside a 10 ms
+        interval leaves the secure core mostly idle."""
+        _, monitor = monitored
+        report = monitor.monitor(10)
+        assert 0.0 < report.analysis_budget_fraction < 0.2
+
+    def test_detach_stops_scoring(self, monitored):
+        platform, monitor = monitored
+        monitor.monitor(5)
+        monitor.detach()
+        before = len(platform.secure_core.online_results)
+        platform.run_intervals(5)
+        assert len(platform.secure_core.online_results) == before
+
+    def test_reports_do_not_overlap(self, monitored):
+        _, monitor = monitored
+        first = monitor.monitor(10)
+        second = monitor.monitor(10)
+        assert first.intervals == second.intervals == 10

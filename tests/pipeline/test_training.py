@@ -1,0 +1,73 @@
+"""Tests for the training-data collection protocol."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.training import collect_training_data, train_detector
+from repro.sim.platform import PlatformConfig
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    return collect_training_data(
+        PlatformConfig(),
+        runs=2,
+        intervals_per_run=40,
+        validation_intervals=40,
+        base_seed=500,
+    )
+
+
+class TestCollection:
+    def test_sizes(self, small_data):
+        assert small_data.num_training == 80
+        assert small_data.num_validation == 40
+
+    def test_runs_are_independent_boots(self, small_data):
+        """Run boundaries restart interval numbering (fresh boots)."""
+        indices = [m.interval_index for m in small_data.training]
+        assert indices[:40] == list(range(40))
+        assert indices[40:] == list(range(40))
+
+    def test_runs_differ_in_content(self, small_data):
+        matrix = small_data.training.matrix()
+        assert not np.array_equal(matrix[:40], matrix[40:])
+
+    def test_validation_is_separate(self, small_data):
+        training_matrix = small_data.training.matrix()
+        validation_matrix = small_data.validation.matrix()
+        assert not any(
+            np.array_equal(validation_matrix[0], row) for row in training_matrix
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            collect_training_data(runs=0)
+        with pytest.raises(ValueError):
+            collect_training_data(intervals_per_run=0)
+
+    def test_deterministic_given_seed(self):
+        config = PlatformConfig()
+        a = collect_training_data(
+            config, runs=1, intervals_per_run=10, validation_intervals=5, base_seed=7
+        )
+        b = collect_training_data(
+            config, runs=1, intervals_per_run=10, validation_intervals=5, base_seed=7
+        )
+        np.testing.assert_array_equal(a.training.matrix(), b.training.matrix())
+
+
+class TestTrainDetector:
+    def test_paper_defaults(self, small_data):
+        detector = train_detector(small_data, em_restarts=2, seed=0)
+        assert detector.is_fitted
+        assert detector.num_gaussians == 5
+        assert detector.eigenmemory.retained_variance_ >= 0.9999
+        # Thresholds came from the validation set.
+        assert detector.thresholds.quantiles == [0.5, 1.0]
+
+    def test_explicit_eigenmemory_count(self, small_data):
+        detector = train_detector(
+            small_data, num_eigenmemories=4, em_restarts=1, seed=0
+        )
+        assert detector.num_eigenmemories_ == 4

@@ -1,0 +1,115 @@
+"""Tests for interrupt-driven devices (Section 5.5's stressor)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.devices import NetworkDevice, NetworkDeviceConfig
+from repro.sim.engine import NS_PER_SEC, Simulator
+from repro.sim.kernel.kernel import Kernel
+from repro.sim.platform import Platform, PlatformConfig
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkDeviceConfig(mean_rate_hz=0)
+        with pytest.raises(ValueError):
+            NetworkDeviceConfig(burst_length_mean=0.5)
+        with pytest.raises(ValueError):
+            NetworkDeviceConfig(core=-1)
+
+    def test_platform_validates_device_core(self):
+        with pytest.raises(ValueError, match="network device"):
+            PlatformConfig(
+                network_devices=(NetworkDeviceConfig(core=1),), monitored_cores=1
+            )
+
+
+class TestDevice:
+    def test_poisson_arrivals_near_rate(self, layout):
+        sim = Simulator()
+        kernel = Kernel(sim, np.random.default_rng(0), layout=layout)
+        device = NetworkDevice(
+            sim, kernel, NetworkDeviceConfig(mean_rate_hz=500.0), np.random.default_rng(1)
+        )
+        device.start()
+        sim.run_until(2 * NS_PER_SEC)
+        # ~1000 expected arrivals; Poisson 3-sigma band.
+        assert 850 <= device.interrupts_raised <= 1150
+        assert device.packets_received >= device.interrupts_raised
+        assert device.mean_packets_per_interrupt >= 1.0
+
+    def test_each_packet_runs_net_rx(self, layout):
+        sim = Simulator()
+        kernel = Kernel(sim, np.random.default_rng(0), layout=layout)
+        device = NetworkDevice(
+            sim, kernel, NetworkDeviceConfig(mean_rate_hz=100.0), np.random.default_rng(1)
+        )
+        device.start()
+        sim.run_until(NS_PER_SEC)
+        assert kernel.invocation_count("kernel.net_rx") == device.packets_received
+
+    def test_double_start_rejected(self, layout):
+        sim = Simulator()
+        kernel = Kernel(sim, np.random.default_rng(0), layout=layout)
+        device = NetworkDevice(
+            sim, kernel, NetworkDeviceConfig(), np.random.default_rng(1)
+        )
+        device.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            device.start()
+
+
+class TestPlatformIntegration:
+    def test_no_devices_by_default(self, platform):
+        platform.run_intervals(5)
+        assert platform.devices == []
+        assert platform.kernel.invocation_count("kernel.net_rx") == 0
+
+    def test_device_traffic_reaches_mhm(self):
+        quiet = Platform(PlatformConfig(seed=21)).collect_intervals(30)
+        noisy = Platform(
+            PlatformConfig(
+                seed=21,
+                network_devices=(NetworkDeviceConfig(mean_rate_hz=500.0),),
+            )
+        ).collect_intervals(30)
+        assert (
+            noisy.traffic_volumes().mean() > 1.05 * quiet.traffic_volumes().mean()
+        )
+
+    def test_device_increases_unpredictability(self):
+        """Aperiodic arrivals widen per-interval volume variation —
+        the Section 5.5 failure mode for the global model."""
+
+        def volume_cv(devices):
+            platform = Platform(
+                PlatformConfig(seed=22, network_devices=devices)
+            )
+            volumes = platform.collect_intervals(100).traffic_volumes().astype(float)
+            return volumes.std() / volumes.mean()
+
+        quiet_cv = volume_cv(())
+        noisy_cv = volume_cv(
+            (NetworkDeviceConfig(mean_rate_hz=800.0, burst_length_mean=4.0),)
+        )
+        assert noisy_cv > quiet_cv
+
+    def test_net_rx_lands_in_net_subsystem(self, layout):
+        from repro.sim.trace import TraceRecorder
+
+        platform = Platform(
+            PlatformConfig(
+                seed=23, network_devices=(NetworkDeviceConfig(mean_rate_hz=300.0),)
+            )
+        )
+        recorder = TraceRecorder()
+        platform.kernel.attach_probe(recorder)
+        platform.run_intervals(5)
+        bursts = recorder.bursts_of_kind("kernel.net_rx")
+        assert bursts
+        subsystems = {
+            layout.subsystem_of(int(a)) for a in bursts[0].addresses
+        }
+        assert "net" in subsystems
+        assert "irq" in subsystems

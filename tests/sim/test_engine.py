@@ -1,0 +1,158 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import NS_PER_MS, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(30, log.append, "c")
+        sim.schedule_at(10, log.append, "a")
+        sim.schedule_at(20, log.append, "b")
+        sim.run_until(100)
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self):
+        sim = Simulator()
+        log = []
+        for label in "abcde":
+            sim.schedule_at(10, log.append, label)
+        sim.run_until(10)
+        assert log == list("abcde")
+
+    def test_now_advances_during_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5, lambda: seen.append(sim.now))
+        sim.schedule_at(9, lambda: seen.append(sim.now))
+        sim.run_until(20)
+        assert seen == [5, 9]
+        assert sim.now == 20
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        sim.run_until(50)
+        fired = []
+        sim.schedule_after(25, fired.append, True)
+        sim.run_until(74)
+        assert fired == []
+        sim.run_until(75)
+        assert fired == [True]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(99, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Simulator().schedule_after(-1, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule_after(10, chain, n + 1)
+
+        sim.schedule_at(0, chain, 0)
+        sim.run_until(100)
+        assert log == [0, 1, 2, 3]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(10, fired.append, 1)
+        sim.cancel(handle)
+        sim.run_until(20)
+        assert fired == []
+
+    def test_cancel_twice_is_safe(self):
+        sim = Simulator()
+        handle = sim.schedule_at(10, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert sim.run_until(20) == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule_at(10, lambda: None)
+        drop = sim.schedule_at(10, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending_events == 1
+        sim.cancel(keep)
+        assert sim.pending_events == 0
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_multiples(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(10, lambda: times.append(sim.now))
+        sim.run_until(35)
+        assert times == [10, 20, 30]
+
+    def test_periodic_with_explicit_start(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(10, lambda: times.append(sim.now), start_at=5)
+        sim.run_until(30)
+        assert times == [5, 15, 25]
+
+    def test_periodic_cancellation_stops_recurrence(self):
+        sim = Simulator()
+        times = []
+        handle = sim.schedule_periodic(10, lambda: times.append(sim.now))
+        sim.run_until(25)
+        sim.cancel(handle)
+        sim.run_until(100)
+        assert times == [10, 20]
+
+    def test_periodic_rejects_bad_period(self):
+        with pytest.raises(ValueError, match="period"):
+            Simulator().schedule_periodic(0, lambda: None)
+
+    def test_periodic_rejects_past_start(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(ValueError, match="before now"):
+            sim.schedule_periodic(10, lambda: None, start_at=50)
+
+
+class TestRunSemantics:
+    def test_run_until_returns_executed_count(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.schedule_at(t, lambda: None)
+        assert sim.run_until(2) == 2
+        assert sim.run_until(10) == 1
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(10)
+        with pytest.raises(ValueError, match="before now"):
+            sim.run_until(5)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run_until(100)
+
+        sim.schedule_at(1, nested)
+        with pytest.raises(RuntimeError, match="re-entrantly"):
+            sim.run_until(10)
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_until(7)
+        sim.run_for(3 * NS_PER_MS)
+        assert sim.now == 7 + 3 * NS_PER_MS

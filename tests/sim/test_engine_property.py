@@ -1,0 +1,65 @@
+"""Property-based tests for the event engine (determinism guarantees)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestOrderingProperties:
+    @given(times=st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_events_fire_in_time_then_insertion_order(self, times):
+        sim = Simulator()
+        fired = []
+        for insertion_index, time_ns in enumerate(times):
+            sim.schedule_at(time_ns, fired.append, (time_ns, insertion_index))
+        sim.run_until(10_000)
+        assert fired == sorted(fired)  # (time, insertion index) lexicographic
+        assert len(fired) == len(times)
+
+    @given(
+        times=st.lists(st.integers(min_value=0, max_value=1_000), max_size=40),
+        cancel_mask=st.lists(st.booleans(), max_size=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_events_never_fire(self, times, cancel_mask):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule_at(t, fired.append, i) for i, t in enumerate(times)
+        ]
+        cancelled = set()
+        for i, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+            if cancel:
+                sim.cancel(handle)
+                cancelled.add(i)
+        sim.run_until(1_000)
+        assert set(fired) == set(range(len(times))) - cancelled
+
+    @given(
+        boundary=st.integers(min_value=0, max_value=1_000),
+        times=st.lists(st.integers(min_value=0, max_value=1_000), max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_run_until_is_exact_boundary(self, boundary, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule_at(t, fired.append, t)
+        sim.run_until(boundary)
+        assert all(t <= boundary for t in fired)
+        assert sorted(fired) == sorted(t for t in times if t <= boundary)
+        assert sim.now == boundary
+
+    @given(
+        period=st.integers(min_value=1, max_value=50),
+        horizon=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_periodic_fires_exactly_floor_times(self, period, horizon):
+        sim = Simulator()
+        count = [0]
+        sim.schedule_periodic(period, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run_until(horizon)
+        assert count[0] == horizon // period

@@ -1,0 +1,136 @@
+"""Tests for the synthetic kernel layout."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel.layout import (
+    KERNEL_TEXT_BASE,
+    KERNEL_TEXT_END,
+    KERNEL_TEXT_SIZE,
+    MODULE_SPACE_BASE,
+    KernelLayout,
+    default_heatmap_spec,
+)
+
+
+class TestGeometry:
+    def test_paper_segment_size(self):
+        # Figure 1: 3,013,284 bytes between 0xC0008000 and 0xC02E7AA4.
+        assert KERNEL_TEXT_SIZE == 3_013_284
+        assert KERNEL_TEXT_END - KERNEL_TEXT_BASE == KERNEL_TEXT_SIZE
+
+    def test_image_fills_segment_exactly(self, layout):
+        assert layout.functions[0].address == KERNEL_TEXT_BASE
+        assert layout.functions[-1].end_address == KERNEL_TEXT_END
+        total = sum(fn.size for fn in layout.functions)
+        assert total == KERNEL_TEXT_SIZE
+
+    def test_functions_are_contiguous_and_non_overlapping(self, layout):
+        for previous, current in zip(layout.functions, layout.functions[1:]):
+            assert current.address == previous.end_address
+
+    def test_function_sizes_positive_and_aligned(self, layout):
+        for fn in layout.functions:
+            assert fn.size > 0
+            assert fn.address % 4 == 0
+
+    def test_module_space_outside_text(self):
+        assert MODULE_SPACE_BASE < KERNEL_TEXT_BASE
+
+    def test_reasonable_symbol_count(self, layout):
+        # A 3.x embedded kernel has thousands of functions.
+        assert 1_000 < len(layout) < 50_000
+
+
+class TestDeterminism:
+    def test_two_instances_are_identical(self, layout):
+        other = KernelLayout()
+        assert len(other) == len(layout)
+        for a, b in zip(layout.functions, other.functions):
+            assert (a.name, a.address, a.size, a.subsystem) == (
+                b.name,
+                b.address,
+                b.size,
+                b.subsystem,
+            )
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "vector_swi",
+            "schedule",
+            "__switch_to",
+            "sys_read",
+            "vfs_read",
+            "do_fork",
+            "load_module",
+            "do_exit",
+            "cpu_idle",
+            "sha_transform",
+        ],
+    )
+    def test_anchor_functions_present(self, layout, name):
+        fn = layout.symbol(name)
+        assert fn.name == name
+        assert KERNEL_TEXT_BASE <= fn.address < KERNEL_TEXT_END
+
+    def test_unknown_symbol_raises(self, layout):
+        with pytest.raises(KeyError):
+            layout.symbol("sys_does_not_exist")
+
+    def test_find_hits_every_function(self, layout):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            fn = layout.functions[rng.integers(len(layout.functions))]
+            probe = fn.address + int(rng.integers(fn.size))
+            assert layout.find(probe) is fn
+
+    def test_find_outside_image(self, layout):
+        assert layout.find(KERNEL_TEXT_BASE - 4) is None
+        assert layout.find(KERNEL_TEXT_END) is None
+
+    def test_find_first_and_last_byte(self, layout):
+        assert layout.find(KERNEL_TEXT_BASE) is layout.functions[0]
+        assert layout.find(KERNEL_TEXT_END - 1) is layout.functions[-1]
+
+    def test_subsystem_of(self, layout):
+        schedule = layout.symbol("schedule")
+        assert layout.subsystem_of(schedule.address) == "sched"
+        assert layout.subsystem_of(0) is None
+
+    def test_functions_in_subsystem(self, layout):
+        sched = layout.functions_in("sched")
+        assert all(fn.subsystem == "sched" for fn in sched)
+        assert any(fn.name == "schedule" for fn in sched)
+        assert layout.functions_in("no_such_subsystem") == []
+
+    def test_every_subsystem_is_populated(self, layout):
+        for subsystem in layout.subsystems:
+            assert layout.functions_in(subsystem), subsystem
+
+    def test_sample_functions(self, layout):
+        rng = np.random.default_rng(1)
+        picks = layout.sample_functions("drivers", 5, rng)
+        assert len(picks) == 5
+        assert len({fn.name for fn in picks}) == 5
+        assert all(fn.subsystem == "drivers" for fn in picks)
+
+    def test_sample_functions_too_many(self, layout):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError, match="only"):
+            layout.sample_functions("idle", 10_000, rng)
+
+
+class TestDefaultSpec:
+    def test_default_spec_matches_figure_1(self):
+        spec = default_heatmap_spec()
+        assert spec.base_address == KERNEL_TEXT_BASE
+        assert spec.region_size == KERNEL_TEXT_SIZE
+        assert spec.granularity == 2048
+        assert spec.num_cells == 1472
+
+    def test_coarse_spec_matches_section_5_4(self):
+        # 8 KB granularity -> L = 368 (the fast analysis variant).
+        assert default_heatmap_spec(granularity=8192).num_cells == 368

@@ -1,0 +1,119 @@
+"""Tests for the module loader and the ASLR state."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel.aslr import RANDOMIZE_VA_SPACE, AslrState
+from repro.sim.kernel.layout import (
+    KERNEL_TEXT_BASE,
+    KERNEL_TEXT_END,
+    MODULE_SPACE_BASE,
+    MODULE_SPACE_SIZE,
+)
+
+
+class TestModuleLoader:
+    def test_load_allocates_outside_monitored_region(self, platform):
+        module = platform.kernel.modules.load("mod_a", 8 * 1024)
+        assert module.base_address >= MODULE_SPACE_BASE
+        assert module.end_address <= MODULE_SPACE_BASE + MODULE_SPACE_SIZE
+        assert module.end_address <= KERNEL_TEXT_BASE  # never in .text
+        assert not platform.spec.contains(module.base_address)
+
+    def test_load_emits_init_module_footprint(self, platform):
+        before = platform.kernel.invocation_count("syscall.init_module")
+        platform.kernel.modules.load("mod_a", 4096)
+        assert platform.kernel.invocation_count("syscall.init_module") == before + 1
+
+    def test_function_partitioning(self, platform):
+        module = platform.kernel.modules.load(
+            "mod_fn", 12 * 1024, function_names=["f1", "f2", "f3"]
+        )
+        assert [fn.name for fn in module.functions] == ["f1", "f2", "f3"]
+        # Contiguous, non-overlapping, covering the module exactly.
+        cursor = module.base_address
+        for fn in module.functions:
+            assert fn.address == cursor
+            assert fn.size > 0
+            cursor = fn.end_address
+        assert cursor == module.end_address
+        assert module.function("f2").name == "f2"
+        with pytest.raises(KeyError):
+            module.function("nope")
+
+    def test_two_modules_do_not_overlap(self, platform):
+        a = platform.kernel.modules.load("mod_a", 4096)
+        b = platform.kernel.modules.load("mod_b", 4096)
+        assert b.base_address >= a.end_address
+
+    def test_double_load_rejected(self, platform):
+        platform.kernel.modules.load("mod_a", 4096)
+        with pytest.raises(ValueError, match="already loaded"):
+            platform.kernel.modules.load("mod_a", 4096)
+
+    def test_unload(self, platform):
+        platform.kernel.modules.load("mod_a", 4096)
+        before = platform.kernel.invocation_count("syscall.delete_module")
+        platform.kernel.modules.unload("mod_a")
+        assert not platform.kernel.modules.is_loaded("mod_a")
+        assert (
+            platform.kernel.invocation_count("syscall.delete_module") == before + 1
+        )
+
+    def test_unload_unknown_rejected(self, platform):
+        with pytest.raises(KeyError):
+            platform.kernel.modules.unload("ghost")
+
+    def test_bad_size_rejected(self, platform):
+        with pytest.raises(ValueError):
+            platform.kernel.modules.load("mod_a", 0)
+
+    def test_loaded_modules_listing(self, platform):
+        platform.kernel.modules.load("mod_b", 4096)
+        platform.kernel.modules.load("mod_a", 4096)
+        assert platform.kernel.modules.loaded_modules == ["mod_a", "mod_b"]
+
+
+class TestAslrState:
+    def test_default_enabled(self):
+        state = AslrState()
+        assert state.enabled
+        assert state.randomize_va_space == 2
+
+    def test_sysctl_write_disables(self):
+        state = AslrState()
+        state.sysctl_write(0, time_ns=123)
+        assert not state.enabled
+        assert state.change_log == [(123, 0)]
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            AslrState().sysctl_write(3)
+
+    def test_randomize_base_when_enabled(self):
+        state = AslrState()
+        rng = np.random.default_rng(0)
+        bases = {state.randomize_base(0x8000, rng) for _ in range(20)}
+        assert len(bases) > 1
+        assert all(b >= 0x8000 and b % 0x1000 == 0 for b in bases)
+
+    def test_randomize_base_when_disabled(self):
+        state = AslrState(randomize_va_space=0)
+        rng = np.random.default_rng(0)
+        assert state.randomize_base(0x8000, rng) == 0x8000
+
+
+class TestKernelSysctl:
+    def test_sysctl_write_flips_aslr_and_emits_footprints(self, platform):
+        kernel = platform.kernel
+        before_open = kernel.invocation_count("syscall.open_procsys")
+        before_write = kernel.invocation_count("syscall.write_procsys")
+        latency = kernel.sysctl_write(RANDOMIZE_VA_SPACE, 0)
+        assert latency > 0
+        assert not kernel.aslr.enabled
+        assert kernel.invocation_count("syscall.open_procsys") == before_open + 1
+        assert kernel.invocation_count("syscall.write_procsys") == before_write + 1
+
+    def test_sysctl_write_other_path_leaves_aslr(self, platform):
+        platform.kernel.sysctl_write("vm/overcommit_memory", 1)
+        assert platform.kernel.aslr.enabled

@@ -1,0 +1,133 @@
+"""Tests for the assembled platform."""
+
+import numpy as np
+import pytest
+
+from repro.core.series import HeatMapSeries
+from repro.sim.engine import NS_PER_MS
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.workloads.mibench import paper_taskset
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = PlatformConfig()
+        assert config.spec.num_cells == 1472
+        assert config.interval_ns == 10 * NS_PER_MS
+        assert [t.name for t in config.tasks] == [
+            "fft",
+            "bitcount",
+            "basicmath",
+            "sha",
+        ]
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            PlatformConfig(placement="in-dram")
+
+    def test_duplicate_task_names_rejected(self):
+        tasks = paper_taskset() + [paper_taskset()[0]]
+        with pytest.raises(ValueError, match="unique"):
+            PlatformConfig(tasks=tuple(tasks))
+
+    def test_with_helpers(self):
+        config = PlatformConfig()
+        assert config.with_granularity(8192).spec.num_cells == 368
+        assert config.with_seed(5).seed == 5
+        assert config.with_placement("post-l1").placement == "post-l1"
+        assert len(config.with_tasks(paper_taskset()[:2]).tasks) == 2
+
+
+class TestCollection:
+    def test_one_heatmap_per_interval(self, platform):
+        platform.run_intervals(25)
+        assert platform.intervals_completed == 25
+
+    def test_collect_returns_only_new_intervals(self, platform):
+        first = platform.collect_intervals(10)
+        second = platform.collect_intervals(5)
+        assert len(first) == 10
+        assert len(second) == 5
+        assert second[0].interval_index == 10
+
+    def test_heatmap_series_accumulates(self, platform):
+        platform.collect_intervals(10)
+        platform.collect_intervals(10)
+        assert len(platform.heatmap_series()) == 20
+
+    def test_interval_metadata(self, platform):
+        series = platform.collect_intervals(3)
+        assert [m.interval_index for m in series] == [0, 1, 2]
+        assert series[1].start_time_ns == platform.config.interval_ns
+
+    def test_negative_intervals_rejected(self, platform):
+        with pytest.raises(ValueError):
+            platform.run_intervals(-1)
+
+    def test_heatmaps_are_nonempty_and_kernel_only(self, platform):
+        series = platform.collect_intervals(10)
+        for heat_map in series:
+            assert heat_map.total_accesses > 1000
+        # User-space fetches were emitted but filtered.
+        assert platform.memometer.drop_rate > 0
+
+    def test_tick_and_kworker_present(self, platform):
+        platform.run_intervals(5)
+        assert platform.kernel.invocation_count("kernel.tick") >= 49
+        assert platform.kernel.invocation_count("kernel.kworker") >= 10
+
+    def test_kworker_can_be_disabled(self):
+        platform = Platform(PlatformConfig(seed=1, enable_kworker=False))
+        platform.run_intervals(3)
+        assert platform.kernel.invocation_count("kernel.kworker") == 0
+
+
+class TestReproducibility:
+    def test_same_seed_identical_heatmaps(self):
+        series_a = Platform(PlatformConfig(seed=9)).collect_intervals(20)
+        series_b = Platform(PlatformConfig(seed=9)).collect_intervals(20)
+        np.testing.assert_array_equal(series_a.matrix(), series_b.matrix())
+
+    def test_different_seed_different_heatmaps(self):
+        series_a = Platform(PlatformConfig(seed=1)).collect_intervals(20)
+        series_b = Platform(PlatformConfig(seed=2)).collect_intervals(20)
+        assert not np.array_equal(series_a.matrix(), series_b.matrix())
+
+    def test_seeds_share_structure(self):
+        """Different boots look different in detail but share the hot set
+        (the property that makes cross-boot detection possible)."""
+        a = Platform(PlatformConfig(seed=1)).collect_intervals(30).matrix().mean(0)
+        b = Platform(PlatformConfig(seed=2)).collect_intervals(30).matrix().mean(0)
+        hot_a = set(np.argsort(a)[-20:].tolist())
+        hot_b = set(np.argsort(b)[-20:].tolist())
+        assert len(hot_a & hot_b) >= 15
+
+
+class TestPlacements:
+    @pytest.mark.parametrize("placement", ["pre-l1", "post-l1", "post-l2"])
+    def test_all_placements_produce_maps(self, placement):
+        platform = Platform(PlatformConfig(seed=3, placement=placement))
+        series = platform.collect_intervals(5)
+        assert len(series) == 5
+        # Post-L2 the steady-state miss stream can drop to zero (the
+        # kernel hot set fits in 512 KB) — but the cold start must show.
+        assert series.traffic_volumes().sum() > 0
+
+    def test_cache_placements_see_less_traffic(self):
+        pre = Platform(PlatformConfig(seed=3, placement="pre-l1"))
+        post = Platform(PlatformConfig(seed=3, placement="post-l1"))
+        pre_vol = pre.collect_intervals(20).traffic_volumes().sum()
+        post_vol = post.collect_intervals(20).traffic_volumes().sum()
+        assert post_vol < pre_vol * 0.8
+
+    def test_post_l2_sees_least(self):
+        l1 = Platform(PlatformConfig(seed=3, placement="post-l1"))
+        l2 = Platform(PlatformConfig(seed=3, placement="post-l2"))
+        vol_l1 = l1.collect_intervals(20).traffic_volumes().sum()
+        vol_l2 = l2.collect_intervals(20).traffic_volumes().sum()
+        assert vol_l2 <= vol_l1
+
+    def test_caches_instantiated_per_placement(self):
+        assert len(Platform(PlatformConfig(placement="pre-l1")).caches) == 0
+        assert len(Platform(PlatformConfig(placement="post-l1")).caches) == 1
+        assert len(Platform(PlatformConfig(placement="post-l2")).caches) == 2

@@ -1,0 +1,96 @@
+"""Tests for the process lifecycle manager."""
+
+import pytest
+
+from repro.sim.engine import NS_PER_MS
+from repro.sim.workloads.mibench import qsort_task
+
+
+class TestLaunch:
+    def test_launch_emits_fork_exec(self, platform):
+        platform.run_for(5 * NS_PER_MS)
+        before_fork = platform.kernel.invocation_count("syscall.fork")
+        record = platform.processes.launch(qsort_task())
+        assert platform.kernel.invocation_count("syscall.fork") == before_fork + 1
+        assert platform.kernel.invocation_count("syscall.execve") >= 1
+        assert record.alive
+        assert record.pid >= 100
+
+    def test_launched_task_joins_schedule(self, platform):
+        platform.run_for(5 * NS_PER_MS)
+        platform.processes.launch(qsort_task())
+        assert "qsort" in platform.scheduler.task_names
+        platform.run_for(100 * NS_PER_MS)
+        assert platform.scheduler.task("qsort").stats.completions >= 2
+
+    def test_first_release_defaults_to_one_period(self, platform):
+        platform.run_for(5 * NS_PER_MS)
+        platform.processes.launch(qsort_task())
+        platform.run_for(20 * NS_PER_MS)  # < one 30 ms period
+        assert platform.scheduler.task("qsort").stats.releases == 0
+        platform.run_for(15 * NS_PER_MS)
+        assert platform.scheduler.task("qsort").stats.releases == 1
+
+    def test_double_launch_rejected(self, platform):
+        platform.processes.launch(qsort_task())
+        with pytest.raises(ValueError, match="already running"):
+            platform.processes.launch(qsort_task())
+
+    def test_cold_start_page_faults(self, platform):
+        before = platform.kernel.invocation_count("kernel.page_fault")
+        platform.processes.launch(qsort_task())
+        assert platform.kernel.invocation_count("kernel.page_fault") > before
+
+    def test_aslr_recorded_at_launch(self, platform):
+        record = platform.processes.launch(qsort_task())
+        assert record.aslr_randomized
+        platform.kernel.aslr.sysctl_write(0)
+        record2 = platform.processes.launch(_renamed(qsort_task(), "qsort2"))
+        assert not record2.aslr_randomized
+
+
+def _renamed(task, name):
+    from dataclasses import replace
+
+    return replace(task, name=name)
+
+
+class TestKill:
+    def test_kill_launched_process(self, platform):
+        platform.processes.launch(qsort_task())
+        platform.run_for(100 * NS_PER_MS)
+        before_exit = platform.kernel.invocation_count("syscall.exit_group")
+        record = platform.processes.kill("qsort")
+        assert not record.alive
+        assert "qsort" not in platform.scheduler.task_names
+        assert platform.kernel.invocation_count("syscall.exit_group") == before_exit + 1
+
+    def test_kill_boot_task(self, platform):
+        """Tasks admitted at boot can be killed too (the shellcode path)."""
+        record = platform.processes.kill("bitcount")
+        assert not record.alive
+        assert "bitcount" not in platform.scheduler.task_names
+
+    def test_kill_unknown_rejected(self, platform):
+        with pytest.raises(KeyError):
+            platform.processes.kill("ghost")
+
+    def test_double_kill_rejected(self, platform):
+        platform.processes.kill("bitcount")
+        with pytest.raises(KeyError):
+            platform.processes.kill("bitcount")
+
+
+class TestShell:
+    def test_spawn_shell_is_aperiodic(self, platform):
+        tasks_before = set(platform.scheduler.task_names)
+        record = platform.processes.spawn_shell()
+        assert record.alive
+        assert set(platform.scheduler.task_names) == tasks_before
+
+    def test_alive_processes_listing(self, platform):
+        platform.processes.launch(qsort_task())
+        platform.processes.spawn_shell()
+        alive = platform.processes.alive_processes()
+        assert "qsort" in alive
+        assert "sh" in alive

@@ -1,0 +1,79 @@
+"""Tests for the RTOS-like platform mode (paper Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import NS_PER_SEC
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.workloads.rtos import RTOS_JITTER_SCALE, rtos_config, rtos_taskset
+
+
+class TestRtosTaskset:
+    def test_harmonic_periods(self):
+        periods = [t.period_ns for t in rtos_taskset()]
+        base = min(periods)
+        for period in periods:
+            assert period % base == 0
+
+    def test_memory_locked(self):
+        for task in rtos_taskset():
+            assert task.pagefaults_per_job == 0.0
+
+    def test_low_jitter(self):
+        for task in rtos_taskset():
+            assert task.exec_jitter <= 0.01
+
+    def test_utilization_comparable_to_paper(self):
+        total = sum(t.utilization for t in rtos_taskset())
+        assert 0.7 <= total <= 0.85
+
+    def test_schedulable(self):
+        platform = Platform(rtos_config(seed=1))
+        platform.run_for(2 * NS_PER_SEC)
+        for name in platform.scheduler.task_names:
+            assert platform.scheduler.task(name).stats.deadline_misses == 0
+
+
+class TestRtosConfig:
+    def test_jitter_scale_applied(self):
+        config = rtos_config(seed=1)
+        assert config.kernel_jitter_scale == RTOS_JITTER_SCALE
+        platform = Platform(config)
+        assert platform.kernel.jitter_scale == RTOS_JITTER_SCALE
+
+    def test_overrides(self):
+        config = rtos_config(seed=5, interval_ns=20_000_000)
+        assert config.seed == 5
+        assert config.interval_ns == 20_000_000
+
+    def test_negative_jitter_scale_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(kernel_jitter_scale=-0.1)
+
+
+class TestRtosDeterminism:
+    """The paper's Section 7 claim: more deterministic memory usage."""
+
+    def test_rtos_heatmaps_are_tighter(self):
+        rtos_matrix = Platform(rtos_config(seed=3)).collect_intervals(100).matrix()
+        linux_matrix = (
+            Platform(PlatformConfig(seed=3)).collect_intervals(100).matrix()
+        )
+
+        def mean_relative_spread(matrix):
+            mean = matrix.mean(axis=0)
+            hot = mean > 10
+            return float((matrix.std(axis=0)[hot] / mean[hot]).mean())
+
+        assert mean_relative_spread(rtos_matrix) < mean_relative_spread(
+            linux_matrix
+        )
+
+    def test_fewer_distinct_phases(self):
+        """Harmonic 80 ms hyperperiod -> at most 8 interval phases
+        (Linux-like set has 10)."""
+        series = Platform(rtos_config(seed=4)).collect_intervals(80)
+        volumes = series.traffic_volumes().astype(float)
+        by_phase_8 = [volumes[i::8].std() for i in range(8)]
+        # Within-phase variation is far below the overall variation.
+        assert np.mean(by_phase_8) < 0.5 * volumes.std()

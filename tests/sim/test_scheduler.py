@@ -1,0 +1,234 @@
+"""Tests for the rate-monotonic scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import NS_PER_MS, NS_PER_SEC, Simulator
+from repro.sim.kernel.kernel import Kernel
+from repro.sim.kernel.scheduler import RMScheduler
+from repro.sim.task import SyscallUse, TaskDefinition
+from repro.sim.workloads.mibench import paper_taskset
+
+
+def make_env(layout, seed=0):
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    kernel = Kernel(sim, rng, layout=layout)
+    scheduler = RMScheduler(sim, kernel, rng)
+    return sim, kernel, scheduler
+
+
+def simple_task(name, exec_ms, period_ms, **overrides):
+    defaults = dict(
+        name=name,
+        exec_time_ns=exec_ms * NS_PER_MS,
+        period_ns=period_ms * NS_PER_MS,
+        syscalls=(SyscallUse("read", 1),),
+        exec_jitter=0.0,
+        pagefaults_per_job=0.0,
+    )
+    defaults.update(overrides)
+    return TaskDefinition(**defaults)
+
+
+class TestAdmission:
+    def test_add_and_list(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 1, 10))
+        scheduler.add_task(simple_task("b", 1, 20))
+        assert scheduler.task_names == ["a", "b"]
+        assert scheduler.total_utilization() == pytest.approx(0.15)
+
+    def test_duplicate_rejected(self, layout):
+        _, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 1, 10))
+        with pytest.raises(ValueError, match="already admitted"):
+            scheduler.add_task(simple_task("a", 1, 10))
+
+    def test_remove_unknown_rejected(self, layout):
+        _, _, scheduler = make_env(layout)
+        with pytest.raises(KeyError):
+            scheduler.remove_task("ghost")
+
+
+class TestReleases:
+    def test_periodic_release_count(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 1, 10))
+        sim.run_until(100 * NS_PER_MS - 1)
+        assert scheduler.task("a").stats.releases == 10  # t = 0, 10, ..., 90
+
+    def test_phase_delays_first_release(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 1, 10, phase_ns=5 * NS_PER_MS))
+        sim.run_until(4 * NS_PER_MS)
+        assert scheduler.task("a").stats.releases == 0
+        sim.run_until(6 * NS_PER_MS)
+        assert scheduler.task("a").stats.releases == 1
+
+    def test_release_emits_wakeup_footprint(self, layout):
+        sim, kernel, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 1, 10))
+        sim.run_until(1)
+        assert kernel.invocation_count("kernel.job_release") == 1
+
+
+class TestExecution:
+    def test_single_task_completes_every_job(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 2, 10))
+        sim.run_until(NS_PER_SEC)
+        stats = scheduler.task("a").stats
+        assert stats.completions >= stats.releases - 1
+        assert stats.deadline_misses == 0
+
+    def test_response_time_close_to_exec_when_alone(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 2, 10))
+        sim.run_until(200 * NS_PER_MS)
+        stats = scheduler.task("a").stats
+        # Execution plus one read syscall's latency, roughly.
+        assert 2 * NS_PER_MS <= stats.mean_response_ns < 3 * NS_PER_MS
+
+    def test_syscalls_reach_kernel(self, layout):
+        sim, kernel, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 2, 10, syscalls=(SyscallUse("read", 3),)))
+        sim.run_until(100 * NS_PER_MS)
+        # ~10 jobs x 3 reads each.
+        assert kernel.invocation_count("syscall.read") >= 20
+
+    def test_user_bursts_emitted(self, layout):
+        from repro.sim.trace import TraceRecorder
+
+        sim, kernel, scheduler = make_env(layout)
+        recorder = TraceRecorder()
+        kernel.attach_probe(recorder)
+        scheduler.add_task(simple_task("a", 2, 10))
+        sim.run_until(50 * NS_PER_MS)
+        assert recorder.bursts_of_kind("user")
+
+
+class TestPreemption:
+    def test_high_priority_preempts_low(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("fast", 2, 10))
+        scheduler.add_task(simple_task("slow", 50, 100))
+        sim.run_until(NS_PER_SEC)
+        assert scheduler.task("slow").stats.preemptions > 0
+        assert scheduler.task("fast").stats.preemptions == 0
+        assert scheduler.task("slow").stats.deadline_misses == 0
+
+    def test_rm_priority_is_by_period(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("slow", 20, 100))
+        scheduler.add_task(simple_task("fast", 4, 10))
+        sim.run_until(500 * NS_PER_MS)
+        fast = scheduler.task("fast").stats
+        # fast always wins the CPU at its release: response ~ exec time.
+        assert fast.max_response_ns < 6 * NS_PER_MS
+
+    def test_context_switch_footprints(self, layout):
+        sim, kernel, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("fast", 2, 10))
+        scheduler.add_task(simple_task("slow", 30, 100))
+        sim.run_until(300 * NS_PER_MS)
+        assert scheduler.context_switches > 0
+        assert (
+            kernel.invocation_count("kernel.context_switch")
+            == scheduler.context_switches
+        )
+
+
+class TestPaperTaskset:
+    def test_schedulable_at_78_percent(self, layout):
+        """Section 5.1's task set is RM-schedulable; no deadline misses."""
+        sim, _, scheduler = make_env(layout, seed=3)
+        for task in paper_taskset():
+            scheduler.add_task(task)
+        sim.run_until(3 * NS_PER_SEC)
+        for name in scheduler.task_names:
+            assert scheduler.task(name).stats.deadline_misses == 0, name
+
+    def test_measured_utilization_near_nominal(self, layout):
+        sim, _, scheduler = make_env(layout, seed=3)
+        for task in paper_taskset():
+            scheduler.add_task(task)
+        sim.run_until(2 * NS_PER_SEC)
+        # Nominal 78 % + syscall latencies; jitter keeps it close.
+        assert 0.70 <= scheduler.measured_utilization() <= 0.88
+
+    def test_sha_response_time_matches_analysis(self, layout):
+        """Response-time analysis gives sha a ~71 ms fixed point."""
+        sim, _, scheduler = make_env(layout, seed=3)
+        for task in paper_taskset():
+            scheduler.add_task(task)
+        sim.run_until(2 * NS_PER_SEC)
+        sha = scheduler.task("sha").stats
+        assert 40 * NS_PER_MS < sha.max_response_ns <= 85 * NS_PER_MS
+
+
+class TestOverload:
+    def test_deadline_misses_recorded_and_bounded(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("hog", 9, 10))
+        scheduler.add_task(simple_task("victim", 9, 20))
+        sim.run_until(NS_PER_SEC)
+        victim = scheduler.task("victim").stats
+        assert victim.deadline_misses > 0
+        # Skipped releases keep the backlog bounded: at most one active
+        # job per task at any time.
+        assert victim.releases + victim.deadline_misses == pytest.approx(
+            50, abs=1
+        )
+
+
+class TestRemoval:
+    def test_removed_task_stops_releasing(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 1, 10))
+        sim.run_until(35 * NS_PER_MS)
+        releases_before = scheduler.task("a").stats.releases
+        scheduler.remove_task("a")
+        sim.run_until(200 * NS_PER_MS)
+        assert "a" not in scheduler.task_names
+        assert releases_before == 4
+
+    def test_removing_running_task_dispatches_next(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("big", 80, 100))
+        scheduler.add_task(simple_task("small", 1, 100, phase_ns=2 * NS_PER_MS))
+        sim.run_until(5 * NS_PER_MS)  # big is running, small waits
+        assert scheduler.running_task == "big"
+        scheduler.remove_task("big")
+        sim.run_until(10 * NS_PER_MS)
+        assert scheduler.task("small").stats.completions == 1
+
+    def test_idle_after_all_removed(self, layout):
+        sim, _, scheduler = make_env(layout)
+        scheduler.add_task(simple_task("a", 1, 10))
+        sim.run_until(15 * NS_PER_MS)
+        scheduler.remove_task("a")
+        sim.run_until(30 * NS_PER_MS)
+        assert scheduler.is_idle
+        assert scheduler.running_task is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_behaviour(self, layout):
+        counts = []
+        for _ in range(2):
+            sim, kernel, scheduler = make_env(layout, seed=11)
+            for task in paper_taskset():
+                scheduler.add_task(task)
+            sim.run_until(500 * NS_PER_MS)
+            counts.append(dict(kernel.invocation_counts))
+        assert counts[0] == counts[1]
+
+    def test_different_seed_different_jitter(self, layout):
+        totals = []
+        for seed in (1, 2):
+            sim, kernel, scheduler = make_env(layout, seed=seed)
+            scheduler.add_task(simple_task("a", 5, 10, exec_jitter=0.1))
+            sim.run_until(500 * NS_PER_MS)
+            totals.append(scheduler.busy_ns)
+        assert totals[0] != totals[1]

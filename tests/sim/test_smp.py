@@ -1,0 +1,105 @@
+"""Tests for SMP support (Limitation §5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import NS_PER_MS, NS_PER_SEC
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.smp import partition_tasks, per_core_utilization
+from repro.sim.task import TaskDefinition
+from repro.sim.workloads.mibench import paper_taskset, qsort_task
+
+
+class TestPartitioning:
+    def test_paper_taskset_on_two_cores(self):
+        tasks = partition_tasks(paper_taskset(), 2)
+        loads = per_core_utilization(tasks, 2)
+        assert len(loads) == 2
+        assert sum(loads) == pytest.approx(0.78)
+        # Worst-fit-decreasing balances: no core above 50 % here.
+        assert max(loads) <= 0.5
+
+    def test_preserves_order_and_names(self):
+        tasks = partition_tasks(paper_taskset(), 2)
+        assert [t.name for t in tasks] == [t.name for t in paper_taskset()]
+
+    def test_single_core_is_identity_assignment(self):
+        tasks = partition_tasks(paper_taskset(), 1)
+        assert all(t.core == 0 for t in tasks)
+
+    def test_unpartitionable_set_rejected(self):
+        heavy = [
+            TaskDefinition(name=f"t{i}", exec_time_ns=9 * NS_PER_MS, period_ns=10 * NS_PER_MS)
+            for i in range(3)
+        ]
+        with pytest.raises(ValueError, match="does not fit"):
+            partition_tasks(heavy, 2)
+
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError):
+            partition_tasks(paper_taskset(), 0)
+
+    def test_per_core_utilization_validates_assignment(self):
+        tasks = [qsort_task().on_core(3)]
+        with pytest.raises(ValueError, match="outside"):
+            per_core_utilization(tasks, 2)
+
+
+class TestSmpPlatform:
+    @pytest.fixture()
+    def smp_platform(self):
+        tasks = partition_tasks(paper_taskset(), 2)
+        return Platform(
+            PlatformConfig(seed=11, monitored_cores=2, tasks=tuple(tasks))
+        )
+
+    def test_config_validates_task_cores(self):
+        with pytest.raises(ValueError, match="targets core"):
+            PlatformConfig(tasks=(qsort_task().on_core(1),), monitored_cores=1)
+
+    def test_two_schedulers_share_one_memometer(self, smp_platform):
+        assert len(smp_platform.schedulers) == 2
+        series = smp_platform.collect_intervals(20)
+        # Single MHM memory aggregates both cores' kernel activity:
+        # roughly double the single-core volume.
+        single = Platform(PlatformConfig(seed=11)).collect_intervals(20)
+        assert (
+            series.traffic_volumes().mean()
+            > 1.3 * single.traffic_volumes().mean()
+        )
+
+    def test_tasks_run_on_their_cores(self, smp_platform):
+        smp_platform.run_for(NS_PER_SEC)
+        for scheduler in smp_platform.schedulers:
+            for name in scheduler.task_names:
+                stats = scheduler.task(name).stats
+                assert stats.completions > 0, name
+                assert stats.deadline_misses == 0, name
+
+    def test_bursts_tagged_with_core(self, smp_platform):
+        from repro.sim.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        smp_platform.kernel.attach_probe(recorder)
+        smp_platform.run_for(100 * NS_PER_MS)
+        cores = {b.core for b in recorder.bursts if b.kind.startswith("syscall.")}
+        assert cores == {0, 1}
+
+    def test_launch_and_kill_on_second_core(self, smp_platform):
+        smp_platform.processes.launch(qsort_task().on_core(1))
+        assert "qsort" in smp_platform.schedulers[1].task_names
+        assert "qsort" not in smp_platform.schedulers[0].task_names
+        smp_platform.run_for(100 * NS_PER_MS)
+        smp_platform.processes.kill("qsort")
+        assert "qsort" not in smp_platform.schedulers[1].task_names
+
+    def test_launch_to_missing_core_rejected(self, smp_platform):
+        with pytest.raises(ValueError, match="monitored core"):
+            smp_platform.processes.launch(qsort_task().on_core(5))
+
+    def test_smp_reproducible(self):
+        tasks = tuple(partition_tasks(paper_taskset(), 2))
+        config = PlatformConfig(seed=12, monitored_cores=2, tasks=tasks)
+        a = Platform(config).collect_intervals(15).matrix()
+        b = Platform(config).collect_intervals(15).matrix()
+        np.testing.assert_array_equal(a, b)

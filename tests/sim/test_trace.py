@@ -1,0 +1,94 @@
+"""Tests for access bursts and probes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import AccessBurst, BurstFanout, TraceRecorder
+
+
+def _burst(addresses, weights=None, kind="test", time_ns=0):
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if weights is None:
+        weights = np.ones_like(addresses)
+    return AccessBurst(
+        time_ns=time_ns,
+        addresses=addresses,
+        weights=np.asarray(weights, dtype=np.int64),
+        kind=kind,
+    )
+
+
+class TestAccessBurst:
+    def test_basic_properties(self):
+        burst = _burst([0x100, 0x200], [2, 3])
+        assert len(burst) == 2
+        assert burst.total_accesses == 5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            _burst([0x100, 0x200], [1])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _burst([0x100], [-1])
+
+    def test_arrays_frozen(self):
+        burst = _burst([0x100])
+        with pytest.raises(ValueError):
+            burst.addresses[0] = 0
+        with pytest.raises(ValueError):
+            burst.weights[0] = 0
+
+    def test_uniform_constructor(self):
+        burst = AccessBurst.uniform(5, [1, 2, 3], kind="u")
+        assert burst.total_accesses == 3
+        assert burst.time_ns == 5
+        assert burst.kind == "u"
+
+    def test_empty_burst_allowed(self):
+        burst = _burst([])
+        assert burst.total_accesses == 0
+
+
+class TestTraceRecorder:
+    def test_records_everything(self):
+        recorder = TraceRecorder()
+        recorder.observe_burst(_burst([0x100], kind="a"))
+        recorder.observe_burst(_burst([0x200, 0x300], [2, 2], kind="b"))
+        assert len(recorder.bursts) == 2
+        assert recorder.total_accesses() == 5
+        assert recorder.kinds() == {"a", "b"}
+        assert len(recorder.bursts_of_kind("b")) == 1
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.observe_burst(_burst([0x100]))
+        recorder.clear()
+        assert recorder.total_accesses() == 0
+
+
+class TestBurstFanout:
+    def test_delivers_to_all_in_order(self):
+        fanout = BurstFanout()
+        seen = []
+
+        class Probe:
+            def __init__(self, name):
+                self.name = name
+
+            def observe_burst(self, burst):
+                seen.append(self.name)
+
+        fanout.attach(Probe("first"))
+        fanout.attach(Probe("second"))
+        fanout.observe_burst(_burst([0x100]))
+        assert seen == ["first", "second"]
+        assert len(fanout) == 2
+
+    def test_detach(self):
+        fanout = BurstFanout()
+        recorder = TraceRecorder()
+        fanout.attach(recorder)
+        fanout.detach(recorder)
+        fanout.observe_burst(_burst([0x100]))
+        assert recorder.total_accesses() == 0

@@ -1,0 +1,75 @@
+"""Tests for the workload definitions."""
+
+import pytest
+
+from repro.sim.engine import NS_PER_MS, NS_PER_SEC
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.smp import partition_tasks
+from repro.sim.workloads.mibench import (
+    TASK_CATEGORIES,
+    extended_taskset,
+    paper_taskset,
+)
+
+
+class TestPaperTaskset:
+    def test_exact_paper_parameters(self):
+        """Section 5.1's table, verbatim."""
+        expected = {
+            "fft": (2, 10, "telecomm"),
+            "bitcount": (3, 20, "automotive"),
+            "basicmath": (9, 50, "automotive"),
+            "sha": (25, 100, "security"),
+        }
+        tasks = {t.name: t for t in paper_taskset()}
+        assert set(tasks) == set(expected)
+        for name, (exec_ms, period_ms, category) in expected.items():
+            task = tasks[name]
+            assert task.exec_time_ns == exec_ms * NS_PER_MS, name
+            assert task.period_ns == period_ms * NS_PER_MS, name
+            assert TASK_CATEGORIES[name] == category
+
+    def test_utilization_is_78_percent(self):
+        assert sum(t.utilization for t in paper_taskset()) == pytest.approx(0.78)
+
+    def test_every_task_has_a_category(self):
+        for task in extended_taskset():
+            assert task.name in TASK_CATEGORIES
+
+    def test_fresh_instances_each_call(self):
+        a, b = paper_taskset(), paper_taskset()
+        assert a is not b
+        assert a[0] == b[0]
+
+
+class TestExtendedTaskset:
+    def test_unique_names(self):
+        names = [t.name for t in extended_taskset()]
+        assert len(names) == len(set(names))
+
+    def test_needs_two_cores(self):
+        total = sum(t.utilization for t in extended_taskset())
+        assert total > 1.0  # not single-core schedulable
+        assigned = partition_tasks(extended_taskset(), 2)
+        assert {t.core for t in assigned} == {0, 1}
+
+    def test_runs_clean_on_two_cores(self):
+        tasks = tuple(partition_tasks(extended_taskset(), 2))
+        platform = Platform(
+            PlatformConfig(seed=17, monitored_cores=2, tasks=tasks)
+        )
+        platform.run_for(2 * NS_PER_SEC)
+        for scheduler in platform.schedulers:
+            for name in scheduler.task_names:
+                stats = scheduler.task(name).stats
+                assert stats.completions > 0, name
+                assert stats.deadline_misses == 0, name
+
+    def test_all_syscalls_resolvable(self, layout):
+        """Every syscall a workload uses exists in the default table."""
+        from repro.sim.kernel.syscalls import build_default_services
+
+        _, table = build_default_services(layout)
+        for task in extended_taskset():
+            for use in task.syscalls:
+                assert use.name in table, (task.name, use.name)

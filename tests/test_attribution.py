@@ -1,0 +1,101 @@
+"""Tests for anomaly attribution/forensics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import explain_heatmap
+from repro.attacks import AppLaunchAttack, SyscallHijackRootkit
+from repro.learn.detector import MhmDetector
+from repro.sim.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def forensic_setup(quick_artifacts, layout):
+    platform = Platform(quick_artifacts.config.with_seed(808))
+    platform.run_intervals(20)
+    return platform, quick_artifacts.detector, layout
+
+
+class TestBasics:
+    def test_normal_interval_not_anomalous(self, forensic_setup):
+        platform, detector, layout = forensic_setup
+        heat_map = platform.collect_intervals(1)[0]
+        report = explain_heatmap(detector, heat_map, layout)
+        assert not report.is_anomalous
+        assert len(report.cells) == 10
+        assert 0 <= report.nearest_component < detector.num_gaussians
+        assert 0.0 <= report.component_responsibility <= 1.0
+
+    def test_shares_sum_below_one(self, forensic_setup):
+        platform, detector, layout = forensic_setup
+        heat_map = platform.collect_intervals(1)[0]
+        report = explain_heatmap(detector, heat_map, layout, top_k=5)
+        assert sum(c.deviation_share for c in report.cells) <= 1.0 + 1e-9
+        assert sum(report.subsystem_shares.values()) <= 1.0 + 1e-9
+
+    def test_render_is_readable(self, forensic_setup):
+        platform, detector, layout = forensic_setup
+        heat_map = platform.collect_intervals(1)[0]
+        text = explain_heatmap(detector, heat_map, layout).render()
+        assert "log10 Pr(M)" in text
+        assert "top deviating cells" in text
+
+    def test_without_layout(self, forensic_setup):
+        platform, detector, _ = forensic_setup
+        heat_map = platform.collect_intervals(1)[0]
+        report = explain_heatmap(detector, heat_map, layout=None)
+        assert all(c.functions == () for c in report.cells)
+
+    def test_unfitted_detector_rejected(self, forensic_setup):
+        platform, _, _ = forensic_setup
+        heat_map = platform.collect_intervals(1)[0]
+        with pytest.raises(RuntimeError, match="fitted"):
+            explain_heatmap(MhmDetector(), heat_map)
+
+
+class TestAttackForensics:
+    def test_rootkit_load_attributes_to_module_loader(
+        self, quick_artifacts, layout
+    ):
+        """The flagged load interval must point at the loader path."""
+        platform = Platform(quick_artifacts.config.with_seed(809))
+        platform.run_intervals(10)
+        SyscallHijackRootkit().inject(platform)
+        load_map = platform.collect_intervals(1)[0]
+        report = explain_heatmap(
+            quick_artifacts.detector, load_map, layout, top_k=15
+        )
+        assert report.is_anomalous
+        named = {fn for cell in report.cells for fn in cell.functions}
+        loader_symbols = {
+            "load_module",
+            "apply_relocate",
+            "simplify_symbols",
+            "sys_init_module",
+            "memcpy",
+            "strcmp",
+        }
+        assert named & loader_symbols, sorted(named)[:20]
+        assert report.dominant_subsystem in {"module", "lib"}
+
+    def test_app_launch_attributes_to_process_path(
+        self, quick_artifacts, layout
+    ):
+        """The launch interval's deviation involves fork/exec cells."""
+        platform = Platform(quick_artifacts.config.with_seed(810))
+        platform.run_intervals(10)
+        AppLaunchAttack().inject(platform)
+        launch_map = platform.collect_intervals(1)[0]
+        report = explain_heatmap(
+            quick_artifacts.detector, launch_map, layout, top_k=20
+        )
+        named = {fn for cell in report.cells for fn in cell.functions}
+        process_symbols = {
+            "copy_process",
+            "do_fork",
+            "load_elf_binary",
+            "do_execve",
+            "do_mmap_pgoff",
+            "handle_mm_fault",
+        }
+        assert named & process_symbols, sorted(named)[:20]

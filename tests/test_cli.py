@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def trained_detector_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "detector.npz"
+    code = main(
+        [
+            "train",
+            "--runs",
+            "2",
+            "--intervals",
+            "60",
+            "--validation",
+            "60",
+            "--restarts",
+            "2",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["attack", "--detector", "x", "--scenario", "nuke"]
+            )
+
+
+class TestCommands:
+    def test_train_writes_detector(self, trained_detector_path, capsys):
+        assert trained_detector_path.exists()
+
+    def test_monitor_normal_run(self, trained_detector_path, capsys):
+        code = main(
+            [
+                "monitor",
+                "--detector",
+                str(trained_detector_path),
+                "--intervals",
+                "40",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "intervals flagged" in captured.out
+
+    def test_attack_scenarios(self, trained_detector_path, capsys):
+        for scenario in ("app-launch", "shellcode", "rootkit"):
+            code = main(
+                [
+                    "attack",
+                    "--detector",
+                    str(trained_detector_path),
+                    "--scenario",
+                    scenario,
+                    "--pre",
+                    "30",
+                    "--during",
+                    "30",
+                ]
+            )
+            captured = capsys.readouterr()
+            assert code == 0
+            assert scenario in captured.out
+
+    def test_heatmap(self, capsys):
+        code = main(["heatmap", "--interval-index", "2", "--width", "64"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "AddrBase" in captured.out

@@ -1,0 +1,91 @@
+"""Tests for the terminal renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.mhm import MemoryHeatMap
+from repro.viz.ascii import render_heatmap, render_series, render_sparkline
+
+
+class TestHeatmap:
+    def test_shape_and_header(self, small_spec):
+        heat_map = MemoryHeatMap(small_spec)
+        heat_map.record(small_spec.base_address, count=100)
+        art = render_heatmap(heat_map, width=4)
+        lines = art.splitlines()
+        assert f"{small_spec.base_address:#x}" in lines[0]
+        grid = lines[1:]
+        assert len(grid) == -(-small_spec.num_cells // 4)
+        assert all(len(row) <= 4 for row in grid)
+
+    def test_hot_cell_is_darkest(self, small_spec):
+        heat_map = MemoryHeatMap(small_spec)
+        heat_map.record(small_spec.base_address, count=1000)
+        art = render_heatmap(heat_map, width=small_spec.num_cells)
+        grid_row = art.splitlines()[1]
+        assert grid_row[0] == "@"
+        assert grid_row[1] == " "
+
+    def test_empty_map_renders_blank(self, small_spec):
+        art = render_heatmap(MemoryHeatMap(small_spec), width=8)
+        for row in art.splitlines()[1:]:
+            assert set(row) <= {" "}
+
+    def test_log_scale(self, small_spec):
+        heat_map = MemoryHeatMap(small_spec)
+        heat_map.record(small_spec.base_address, count=10)
+        heat_map.record(small_spec.base_address + small_spec.granularity, count=1000)
+        linear = render_heatmap(heat_map, width=8)
+        log = render_heatmap(heat_map, width=8, log_scale=True)
+        assert linear != log
+
+    def test_bad_width(self, small_spec):
+        with pytest.raises(ValueError):
+            render_heatmap(MemoryHeatMap(small_spec), width=0)
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = render_sparkline(np.arange(500), width=50)
+        assert len(line) == 50
+
+    def test_short_series_uncompressed(self):
+        assert len(render_sparkline([1, 2, 3])) == 3
+
+    def test_constant_series(self):
+        line = render_sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_monotone_input_monotone_output(self):
+        line = render_sparkline(np.linspace(0, 1, 8))
+        assert list(line) == sorted(line)
+
+
+class TestSeries:
+    def test_contains_data_marks(self):
+        art = render_series(np.sin(np.linspace(0, 6, 100)), height=8, width=40)
+        assert "*" in art
+        assert "y:" in art.splitlines()[-1]
+
+    def test_thresholds_drawn(self):
+        art = render_series(
+            np.linspace(0, 1, 50), thresholds={"theta": 0.5}, height=10, width=40
+        )
+        assert "-" in art
+        assert "theta"[0] in art
+
+    def test_events_drawn(self):
+        art = render_series(
+            np.zeros(50) + np.arange(50) % 2, events={"inject": 25}, width=40
+        )
+        assert "|" in art
+
+    def test_empty_series(self):
+        assert render_series([]) == ""
+
+    def test_bad_height(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], height=2)

@@ -1,0 +1,45 @@
+"""Tests for the report aggregator."""
+
+import pathlib
+
+from repro.viz.report import REPORT_ORDER, build_report, write_report
+
+
+class TestBuildReport:
+    def test_orders_known_reports(self, tmp_path):
+        (tmp_path / "test_fig7_app_launch.txt").write_text("fig7 body")
+        (tmp_path / "test_fig1_example_mhm.txt").write_text("fig1 body")
+        report = build_report(tmp_path)
+        assert report.index("test_fig1_example_mhm") < report.index(
+            "test_fig7_app_launch"
+        )
+        assert "fig1 body" in report
+        assert "fig7 body" in report
+
+    def test_missing_reports_noted(self, tmp_path):
+        report = build_report(tmp_path)
+        assert report.count("not generated") == len(REPORT_ORDER)
+
+    def test_extra_reports_appended(self, tmp_path):
+        (tmp_path / "test_custom_thing.txt").write_text("custom")
+        report = build_report(tmp_path)
+        assert "test_custom_thing" in report
+        assert "custom" in report
+
+    def test_missing_directory_tolerated(self, tmp_path):
+        report = build_report(tmp_path / "nope")
+        assert "reproduction report" in report
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / "test_fig1_example_mhm.txt").write_text("x")
+        destination = write_report(tmp_path, tmp_path / "REPORT.md")
+        assert isinstance(destination, pathlib.Path)
+        assert destination.read_text().startswith("# Memory Heat Map")
+
+    def test_every_benchmark_in_canonical_order(self):
+        """Keep REPORT_ORDER in sync with the benchmark files."""
+        bench_dir = pathlib.Path(__file__).parents[2] / "benchmarks"
+        bench_names = {
+            p.stem for p in bench_dir.glob("test_*.py")
+        }
+        assert set(REPORT_ORDER) == bench_names

@@ -1,0 +1,30 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.viz.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="width"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = format_table(["a"], [["x"]])
+        assert text.splitlines()[0].startswith("a")
