@@ -1,6 +1,7 @@
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench bench-smoke check report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,6 +11,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Fast perf guard: asserts disabled observability adds <5% to the
+# Memometer burst datapath.  Seconds, not minutes — safe for every push.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -s
+
+check: test bench-smoke
 
 report: bench
 	@echo "see REPORT.md and benchmarks/out/"

@@ -14,30 +14,78 @@ Python — the workflow a deployment would actually script:
 
     # inspect a single simulated heat map
     python -m repro.cli heatmap --interval-index 5
+
+    # pretty-print a metrics manifest written with --metrics-out
+    python -m repro.cli stats metrics.json
+
+Observability: ``train``, ``monitor`` and ``attack`` accept
+``--trace PATH`` (Chrome trace-event JSON of simulator events —
+open in chrome://tracing or https://ui.perfetto.dev; a ``.jsonl``
+extension selects the line-delimited stream instead) and
+``--metrics-out PATH`` (a run manifest with config, seeds, versions
+and a metrics snapshot).  Either flag enables :mod:`repro.obs` for the
+command.  ``monitor``/``heatmap`` also take ``--json`` for
+machine-readable output on stdout.
+
+Exit codes (stable; scripts may rely on them):
+
+* ``0`` — success; for ``monitor``/``attack``, the run completed with
+  **no alarm**;
+* ``1`` — I/O or input-file error (missing detector/manifest, bad
+  JSON, unwritable ``--trace``/``--metrics-out`` directory);
+* ``2`` — usage error (argparse convention);
+* ``3`` — ``monitor`` or ``attack`` **raised an alarm** (the
+  configured number of consecutive intervals scored below θ_p).
+  An attack run that detects its attack therefore exits 3 — pipelines
+  asserting detection should expect it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
+from . import obs
 from .attacks import AppLaunchAttack, ShellcodeAttack, SyscallHijackRootkit
 from .learn.detector import MhmDetector
+from .pipeline.monitoring import OnlineMonitor
 from .pipeline.scenario import ScenarioRunner
 from .pipeline.training import collect_training_data, train_detector
 from .sim.platform import Platform, PlatformConfig
 from .viz.ascii import render_heatmap, render_series
-from .viz.tables import format_table
+from .viz.tables import format_metrics, format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_ALARM"]
+
+#: Clean completion (monitor/attack: no alarm raised).
+EXIT_OK = 0
+#: monitor/attack raised an alarm.
+EXIT_ALARM = 3
+
+LN10 = float(np.log(10.0))
 
 _SCENARIOS = {
     "app-launch": lambda: AppLaunchAttack(),
     "shellcode": lambda: ShellcodeAttack(),
     "rootkit": lambda: SyscallHijackRootkit(),
 }
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write simulator events as Chrome trace-event JSON "
+        "(.jsonl extension: line-delimited events instead)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a run manifest (config, seed, version, host, metrics)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,12 +107,23 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--restarts", type=int, default=5, help="EM restarts")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", required=True, help="output .npz path")
+    _add_obs_arguments(train)
 
     monitor = sub.add_parser("monitor", help="score a fresh normal run")
     monitor.add_argument("--detector", required=True, help="trained .npz detector")
     monitor.add_argument("--intervals", type=int, default=100)
     monitor.add_argument("--seed", type=int, default=12345)
     monitor.add_argument("--quantile", type=float, default=1.0, help="theta_p (%%)")
+    monitor.add_argument(
+        "--alarm-consecutive",
+        type=int,
+        default=3,
+        help="consecutive abnormal intervals that raise an alarm (exit 3)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    _add_obs_arguments(monitor)
 
     attack = sub.add_parser("attack", help="replay a paper scenario and score it")
     attack.add_argument("--detector", required=True)
@@ -75,18 +134,84 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--during", type=int, default=100)
     attack.add_argument("--seed", type=int, default=54321)
     attack.add_argument("--quantile", type=float, default=1.0)
+    attack.add_argument(
+        "--alarm-consecutive",
+        type=int,
+        default=1,
+        help="consecutive abnormal intervals that raise an alarm (exit 3); "
+        "1 reproduces the paper's raw per-interval verdicts",
+    )
+    attack.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    _add_obs_arguments(attack)
 
     heatmap = sub.add_parser("heatmap", help="render one simulated MHM")
     heatmap.add_argument("--interval-index", type=int, default=0)
     heatmap.add_argument("--seed", type=int, default=2015)
     heatmap.add_argument("--width", type=int, default=92)
+    heatmap.add_argument(
+        "--json", action="store_true", help="dump the MHM as JSON instead of ASCII"
+    )
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print a manifest written with --metrics-out"
+    )
+    stats.add_argument("metrics_json", help="manifest / metrics snapshot JSON file")
 
     return parser
 
 
+# ----------------------------------------------------------------------
+# Observability plumbing
+# ----------------------------------------------------------------------
+def _obs_requested(args) -> bool:
+    return bool(getattr(args, "trace", None) or getattr(args, "metrics_out", None))
+
+
+def _check_output_paths(args) -> None:
+    """Fail before the run, not after it: artefact dirs must exist."""
+    import os
+
+    for attr in ("trace", "metrics_out"):
+        path = getattr(args, attr, None)
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                raise OSError(
+                    f"--{attr.replace('_', '-')} directory does not exist: {parent}"
+                )
+
+
+def _obs_finish(args, command: str, config=None, seed=None, intervals=None, **extra):
+    """Write the trace and/or manifest the user asked for."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        tracer = obs.tracer()
+        if str(trace_path).endswith(".jsonl"):
+            tracer.write_jsonl(trace_path)
+        else:
+            tracer.write_chrome(trace_path)
+    manifest_path = getattr(args, "metrics_out", None)
+    if manifest_path:
+        obs.RunInfo.collect(
+            command=command,
+            config=config,
+            seed=seed,
+            intervals=intervals,
+            metrics=obs.metrics().snapshot(),
+            trace_events=len(obs.tracer()),
+            **extra,
+        ).write(manifest_path)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
 def _cmd_train(args) -> int:
+    config = PlatformConfig()
     data = collect_training_data(
-        PlatformConfig(),
+        config,
         runs=args.runs,
         intervals_per_run=args.intervals,
         validation_intervals=args.validation,
@@ -114,71 +239,209 @@ def _cmd_train(args) -> int:
             title="trained detector",
         )
     )
-    return 0
+    _obs_finish(
+        args,
+        "train",
+        config=config,
+        seed=args.seed,
+        intervals=args.runs * args.intervals + args.validation,
+        detector_out=str(args.out),
+        eigenmemories=detector.num_eigenmemories_,
+        gaussians=detector.num_gaussians,
+    )
+    return EXIT_OK
 
 
 def _cmd_monitor(args) -> int:
     detector = MhmDetector.load(args.detector)
-    platform = Platform(PlatformConfig(seed=args.seed))
-    series = platform.collect_intervals(args.intervals)
-    densities = detector.log10_series(series)
-    flags = detector.classify_series(series, p_percent=args.quantile)
-    print(
-        render_series(
-            densities,
-            thresholds={"theta": detector.log10_threshold(args.quantile)},
-            height=12,
-            width=90,
+    config = PlatformConfig(seed=args.seed)
+    platform = Platform(config)
+    monitor = OnlineMonitor(
+        platform,
+        detector,
+        p_percent=args.quantile,
+        consecutive_for_alarm=args.alarm_consecutive,
+    )
+    report = monitor.monitor(args.intervals)
+    densities = report.log_densities / LN10
+    flags = report.flagged
+
+    if args.json:
+        print(json.dumps(_report_json(args, report, densities, detector), indent=2))
+    else:
+        print(
+            render_series(
+                densities,
+                thresholds={"theta": detector.log10_threshold(args.quantile)},
+                height=12,
+                width=90,
+            )
         )
+        print(
+            f"{flags} of {report.intervals} intervals flagged "
+            f"({report.flag_rate:.1%}) at theta_{args.quantile:g}; "
+            f"{len(report.alarms)} alarm(s)"
+        )
+    _obs_finish(
+        args,
+        "monitor",
+        config=config,
+        seed=args.seed,
+        intervals=args.intervals,
+        detector=str(args.detector),
+        alarms=len(report.alarms),
     )
-    print(
-        f"{int(flags.sum())} of {len(flags)} intervals flagged "
-        f"({flags.mean():.1%}) at theta_{args.quantile:g}"
-    )
-    return 0 if flags.mean() < 0.5 else 1
+    return EXIT_ALARM if report.alarms else EXIT_OK
 
 
 def _cmd_attack(args) -> int:
     detector = MhmDetector.load(args.detector)
-    platform = Platform(PlatformConfig(seed=args.seed))
+    config = PlatformConfig(seed=args.seed)
+    platform = Platform(config)
+    monitor = OnlineMonitor(
+        platform,
+        detector,
+        p_percent=args.quantile,
+        consecutive_for_alarm=args.alarm_consecutive,
+    )
+    monitor.attach()
     result = ScenarioRunner(platform).run(
         _SCENARIOS[args.scenario](),
         pre_intervals=args.pre,
         attack_intervals=args.during,
     )
-    densities = detector.log10_series(result.series)
-    flags = detector.classify_series(result.series, p_percent=args.quantile)
+    results = platform.secure_core.online_results
+    densities = np.array([r.log_density for r in results]) / LN10
+    flags = np.array([r.is_anomalous for r in results])
     inject = result.attack_interval
-    print(
-        render_series(
-            densities,
-            thresholds={"theta": detector.log10_threshold(args.quantile)},
-            events={"attack": inject},
-            height=12,
-            width=90,
-        )
-    )
     pre_fpr = float(flags[:inject].mean()) if inject else 0.0
     post_rate = float(flags[inject:].mean())
-    print(
-        format_table(
-            ["quantity", "value"],
-            [
-                ["scenario", args.scenario],
-                ["attack interval", inject],
-                ["pre-attack FPR", f"{pre_fpr:.1%}"],
-                ["post-attack flag rate", f"{post_rate:.1%}"],
-            ],
+    first_alarm = monitor.alarms[0].interval_index if monitor.alarms else None
+
+    if args.json:
+        payload = {
+            "command": "attack",
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "quantile_percent": args.quantile,
+            "attack_interval": inject,
+            "pre_attack_fpr": pre_fpr,
+            "post_attack_flag_rate": post_rate,
+            "alarms": [vars(a) for a in monitor.alarms],
+            "first_alarm_interval": first_alarm,
+            "detection_latency_intervals": (
+                first_alarm - inject if first_alarm is not None else None
+            ),
+            "log10_densities": densities,
+            "flags": flags,
+            "log10_threshold": detector.log10_threshold(args.quantile),
+        }
+        print(json.dumps(obs.to_jsonable(payload), indent=2))
+    else:
+        print(
+            render_series(
+                densities,
+                thresholds={"theta": detector.log10_threshold(args.quantile)},
+                events={"attack": inject},
+                height=12,
+                width=90,
+            )
         )
+        print(
+            format_table(
+                ["quantity", "value"],
+                [
+                    ["scenario", args.scenario],
+                    ["attack interval", inject],
+                    ["pre-attack FPR", f"{pre_fpr:.1%}"],
+                    ["post-attack flag rate", f"{post_rate:.1%}"],
+                    ["alarms", len(monitor.alarms)],
+                    [
+                        "first alarm interval",
+                        first_alarm if first_alarm is not None else "-",
+                    ],
+                ],
+            )
+        )
+    _obs_finish(
+        args,
+        "attack",
+        config=config,
+        seed=args.seed,
+        intervals=args.pre + args.during,
+        scenario=args.scenario,
+        detector=str(args.detector),
+        alarms=len(monitor.alarms),
     )
-    return 0
+    return EXIT_ALARM if monitor.alarms else EXIT_OK
+
+
+def _report_json(args, report, densities, detector) -> dict:
+    return obs.to_jsonable(
+        {
+            "command": "monitor",
+            "seed": args.seed,
+            "quantile_percent": args.quantile,
+            "intervals": report.intervals,
+            "flagged": report.flagged,
+            "flag_rate": report.flag_rate,
+            "alarms": [vars(a) for a in report.alarms],
+            "analysis_time_us": report.analysis_time_us,
+            "interval_us": report.interval_us,
+            "analysis_budget_fraction": report.analysis_budget_fraction,
+            "log10_densities": densities,
+            "log10_threshold": detector.log10_threshold(args.quantile),
+        }
+    )
 
 
 def _cmd_heatmap(args) -> int:
     platform = Platform(PlatformConfig(seed=args.seed))
     series = platform.collect_intervals(args.interval_index + 1)
-    print(render_heatmap(series[args.interval_index], width=args.width, log_scale=True))
-    return 0
+    heat_map = series[args.interval_index]
+    if args.json:
+        spec = heat_map.spec
+        payload = {
+            "command": "heatmap",
+            "seed": args.seed,
+            "interval_index": heat_map.interval_index,
+            "start_time_ns": heat_map.start_time_ns,
+            "spec": {
+                "base_address": spec.base_address,
+                "region_size": spec.region_size,
+                "granularity": spec.granularity,
+                "num_cells": spec.num_cells,
+            },
+            "counts": heat_map.counts,
+        }
+        print(json.dumps(obs.to_jsonable(payload), indent=2))
+    else:
+        print(render_heatmap(heat_map, width=args.width, log_scale=True))
+    return EXIT_OK
+
+
+def _cmd_stats(args) -> int:
+    with open(args.metrics_json) as fh:
+        data = json.load(fh)
+    if "metrics" in data and isinstance(data["metrics"], dict):
+        host = data.get("host", {})
+        rows = [
+            ["command", data.get("command", "?")],
+            ["argv", " ".join(data.get("argv", []))],
+            ["seed", data.get("seed", "-")],
+            ["intervals", data.get("intervals", "-")],
+            ["version", data.get("version", "?")],
+            ["python", host.get("python", "?")],
+            ["platform", host.get("platform", "?")],
+            ["trace events", data.get("extra", {}).get("trace_events", "-")],
+        ]
+        print(format_table(["field", "value"], rows, title="run manifest"))
+        print()
+        snapshot = data["metrics"]
+    else:
+        snapshot = data
+    print(format_metrics(snapshot))
+    return EXIT_OK
 
 
 _HANDLERS = {
@@ -186,12 +449,24 @@ _HANDLERS = {
     "monitor": _cmd_monitor,
     "attack": _cmd_attack,
     "heatmap": _cmd_heatmap,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    enabled_here = _obs_requested(args)
+    try:
+        _check_output_paths(args)
+        if enabled_here:
+            obs.enable()
+        return _HANDLERS[args.command](args)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if enabled_here:
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

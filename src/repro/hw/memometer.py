@@ -31,6 +31,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.mhm import MemoryHeatMap
 from ..core.spec import HeatMapSpec
 from ..sim.trace import AccessBurst
@@ -126,6 +127,18 @@ class Memometer:
         # Snoop statistics (diagnostics only; not architectural).
         self.snooped_accesses = 0
         self.accepted_accesses = 0
+        # Observability instruments (no-op singletons when disabled;
+        # the hot path pays one bound-method call per burst and never
+        # branches).  Cached here, so enable repro.obs *before*
+        # constructing the Memometer.
+        registry = obs.metrics()
+        self._metric_snooped = registry.counter("memometer.snooped_accesses")
+        self._metric_accepted = registry.counter("memometer.accepted_accesses")
+        self._metric_filtered = registry.counter("memometer.filtered_accesses")
+        self._metric_saturated = registry.counter("memometer.saturated")
+        self._metric_bursts = registry.counter("memometer.bursts")
+        self._metric_swaps = registry.counter("memometer.swaps")
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     # Snoop datapath
@@ -138,28 +151,47 @@ class Memometer:
         address passed the filter.
         """
         self.snooped_accesses += weight
+        self._metric_snooped.inc(weight)
         offset = address - self.registers.base_address
         if not 0 <= offset < self.registers.region_size:
+            self._metric_filtered.inc(weight)
             return False
         idx = offset >> self.spec.shift
         buf = self._buffers[self._active]
-        buf[idx] = min(COUNTER_MAX, int(buf[idx]) + weight)
+        summed = int(buf[idx]) + weight
+        if summed > COUNTER_MAX:
+            self._metric_saturated.inc()
+            summed = COUNTER_MAX
+        buf[idx] = summed
         self.accepted_accesses += weight
+        self._metric_accepted.inc(weight)
         return True
 
     def observe_burst(self, burst: AccessBurst) -> None:
         """Vectorised datapath: a batch of snooped addresses."""
-        self.snooped_accesses += int(burst.weights.sum())
+        total = int(burst.weights.sum())
+        self.snooped_accesses += total
+        self._metric_snooped.inc(total)
+        self._metric_bursts.inc()
         indices, in_region = self.spec.cell_indices(burst.addresses)
         kept = burst.weights[in_region]
         if not kept.size:
+            self._metric_filtered.inc(total)
             return
         increments = np.bincount(
             indices, weights=kept, minlength=self.spec.num_cells
         ).astype(np.uint64)
         buf = self._buffers[self._active]
-        np.minimum(buf + increments, COUNTER_MAX, out=buf, casting="unsafe")
-        self.accepted_accesses += int(kept.sum())
+        summed = buf + increments
+        if self._metric_saturated.enabled:
+            over = summed > COUNTER_MAX
+            if over.any():
+                self._metric_saturated.inc(int(over.sum()))
+        np.minimum(summed, COUNTER_MAX, out=buf, casting="unsafe")
+        accepted = int(kept.sum())
+        self.accepted_accesses += accepted
+        self._metric_accepted.inc(accepted)
+        self._metric_filtered.inc(total - accepted)
 
     # ------------------------------------------------------------------
     # Double buffering
@@ -196,6 +228,18 @@ class Memometer:
         completed[:] = 0
         self._interval_index += 1
         self._interval_start_ns = time_ns
+        self._metric_swaps.inc()
+        self._tracer.instant(
+            "memometer.buffer_swap",
+            time_ns,
+            category="hw",
+            args={
+                "interval_index": heat_map.interval_index,
+                "completed_buffer": completed_index,
+                "active_buffer": self._active,
+                "total_accesses": int(heat_map.counts.sum()),
+            },
+        )
         if self.on_heatmap is not None:
             self.on_heatmap(heat_map)
         return heat_map

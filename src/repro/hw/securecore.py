@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from .. import obs
 from ..core.mhm import MemoryHeatMap
 from ..core.series import HeatMapSeries
 from ..core.spec import HeatMapSpec
@@ -92,13 +93,23 @@ class SecureCore:
         self,
         spec: HeatMapSpec,
         timing: Optional[AnalysisTimingModel] = None,
+        clock: Optional[Callable[[], int]] = None,
     ):
         self.spec = spec
         self.timing = timing or AnalysisTimingModel()
+        #: Simulated-time source for trace timestamps (the platform
+        #: passes the simulator clock); falls back to interval starts.
+        self.clock = clock
         self.heatmaps: list[MemoryHeatMap] = []
         self.online_results: list[OnlineResult] = []
         self._scorer: Optional[Callable[[MemoryHeatMap], tuple[float, bool]]] = None
         self._scorer_dims: tuple[int, int] = (0, 0)  # (L', J) for timing
+        registry = obs.metrics()
+        self._metric_received = registry.counter("securecore.mhms_received")
+        self._metric_scored = registry.counter("securecore.mhms_scored")
+        self._metric_anomalous = registry.counter("securecore.anomalous_verdicts")
+        self._metric_model_us = registry.histogram("securecore.analysis_model_us")
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -124,19 +135,40 @@ class SecureCore:
         if heat_map.spec != self.spec:
             raise ValueError("received a heat map with a mismatched spec")
         self.heatmaps.append(heat_map)
+        self._metric_received.inc()
         if self._scorer is not None:
             log_density, anomalous = self._scorer(heat_map)
             num_components, num_gaussians = self._scorer_dims
+            analysis_us = self.timing.analysis_time_us(
+                self.spec.num_cells, num_components, num_gaussians
+            )
             self.online_results.append(
                 OnlineResult(
                     interval_index=heat_map.interval_index,
                     log_density=log_density,
                     is_anomalous=anomalous,
-                    analysis_time_us=self.timing.analysis_time_us(
-                        self.spec.num_cells, num_components, num_gaussians
-                    ),
+                    analysis_time_us=analysis_us,
                 )
             )
+            self._metric_scored.inc()
+            self._metric_model_us.observe(analysis_us)
+            if anomalous:
+                self._metric_anomalous.inc()
+            if self._tracer.enabled:
+                now_ns = (
+                    self.clock() if self.clock is not None else heat_map.start_time_ns
+                )
+                self._tracer.instant(
+                    "detector.verdict",
+                    now_ns,
+                    category="detector",
+                    args={
+                        "interval_index": heat_map.interval_index,
+                        "log_density": float(log_density),
+                        "anomalous": bool(anomalous),
+                        "analysis_model_us": analysis_us,
+                    },
+                )
 
     # ------------------------------------------------------------------
     # Retrieval

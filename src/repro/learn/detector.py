@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.mhm import MemoryHeatMap
 from ..core.series import HeatMapSeries
+from ..obs import span
 from .gmm import GaussianMixtureModel
 from .pca import Eigenmemory
 from .threshold import DEFAULT_QUANTILES, ThresholdBank
@@ -112,22 +113,25 @@ class MhmDetector:
             optimistic.
         """
         train_matrix = _as_matrix(training)
-        self.eigenmemory.fit(train_matrix)
-        reduced = self.eigenmemory.transform(train_matrix)
+        with span("fit.pca"):
+            self.eigenmemory.fit(train_matrix)
+            reduced = self.eigenmemory.transform(train_matrix)
 
-        self.gmm = GaussianMixtureModel(
-            num_components=self.num_gaussians,
-            num_restarts=self.em_restarts,
-            covariance_ridge=self.covariance_ridge,
-            seed=self.seed,
-        ).fit(reduced)
+        with span("fit.gmm"):
+            self.gmm = GaussianMixtureModel(
+                num_components=self.num_gaussians,
+                num_restarts=self.em_restarts,
+                covariance_ridge=self.covariance_ridge,
+                seed=self.seed,
+            ).fit(reduced)
 
-        if validation is not None:
-            calibration = self.eigenmemory.transform(_as_matrix(validation))
-        else:
-            calibration = reduced
-        densities = self.gmm.score_samples(calibration)
-        self.thresholds = ThresholdBank.calibrate(densities, self.quantiles)
+        with span("fit.thresholds"):
+            if validation is not None:
+                calibration = self.eigenmemory.transform(_as_matrix(validation))
+            else:
+                calibration = reduced
+            densities = self.gmm.score_samples(calibration)
+            self.thresholds = ThresholdBank.calibrate(densities, self.quantiles)
         return self
 
     @property

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from .gaussian import mvn_logpdf_from_cholesky, regularized_cholesky
 from .kmeans import kmeans
 
@@ -113,6 +114,8 @@ class GaussianMixtureModel:
         self.converged_: bool = False
         self.training_log_likelihood_: float = -np.inf
         self.iterations_: int = 0
+        #: Per-iteration mean log-likelihood of the winning restart.
+        self.log_likelihood_trajectory_: list[float] = []
 
     # ------------------------------------------------------------------
     # Fitting
@@ -129,14 +132,33 @@ class GaussianMixtureModel:
             )
 
         rng = np.random.default_rng(self.seed)
-        best: Optional[tuple[float, GmmParameters, bool, int]] = None
+        registry = obs.metrics()
+        iterations_histogram = registry.histogram(
+            "gmm.em.iterations_per_restart",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500),
+        )
+        best: Optional[tuple[float, GmmParameters, bool, int, list]] = None
         for _ in range(self.num_restarts):
-            params, log_likelihood, converged, iterations = self._run_em(data, rng)
+            params, log_likelihood, converged, iterations, trajectory = self._run_em(
+                data, rng
+            )
+            registry.counter("gmm.em.restarts").inc()
+            registry.counter("gmm.em.iterations").inc(iterations)
+            iterations_histogram.observe(iterations)
             if best is None or log_likelihood > best[0]:
-                best = (log_likelihood, params, converged, iterations)
+                best = (log_likelihood, params, converged, iterations, trajectory)
 
         assert best is not None
-        self.training_log_likelihood_, self.parameters, self.converged_, self.iterations_ = best
+        (
+            self.training_log_likelihood_,
+            self.parameters,
+            self.converged_,
+            self.iterations_,
+            self.log_likelihood_trajectory_,
+        ) = best
+        registry.gauge("gmm.em.best_log_likelihood").set(
+            self.training_log_likelihood_
+        )
         return self
 
     def _initial_parameters(
@@ -164,7 +186,7 @@ class GaussianMixtureModel:
 
     def _run_em(
         self, data: np.ndarray, rng: np.random.Generator
-    ) -> tuple[GmmParameters, float, bool, int]:
+    ) -> tuple[GmmParameters, float, bool, int, list]:
         params = self._initial_parameters(data, rng)
         n_samples, dim = data.shape
         scale = max(float(np.var(data)), 1e-12)
@@ -173,6 +195,7 @@ class GaussianMixtureModel:
         previous_mean_ll = -np.inf
         converged = False
         iteration = 0
+        trajectory: list[float] = []
         for iteration in range(1, self.max_iterations + 1):
             # E-step: responsibilities in log space.
             log_joint = self._component_log_densities(data, params) + np.log(
@@ -183,6 +206,7 @@ class GaussianMixtureModel:
             responsibilities = np.exp(log_resp)
 
             mean_ll = float(log_norm.mean())
+            trajectory.append(mean_ll)
             if mean_ll - previous_mean_ll < self.tolerance and iteration > 1:
                 converged = True
                 break
@@ -209,7 +233,7 @@ class GaussianMixtureModel:
                 axis=1,
             ).sum()
         )
-        return params, final_ll, converged, iteration
+        return params, final_ll, converged, iteration, trajectory
 
     @staticmethod
     def _component_log_densities(

@@ -1,0 +1,139 @@
+"""``repro.obs`` — metrics, event tracing and run provenance.
+
+The reproduction observes a running system (the Memometer snoops the
+fetch stream; the secure core must finish each analysis inside the
+monitoring interval), so the reproduction itself must be observable:
+where does simulation time go, how many accesses did each component
+process, how close is per-interval analysis to its budget?  This
+package answers those questions without ever perturbing results —
+instrumentation only *reads* wall-clock time and simulated state, and
+the test suite asserts bit-identical outputs with observability on and
+off.
+
+Three pillars:
+
+* **metrics** (:mod:`.registry`) — process-wide counters, gauges and
+  fixed-bucket histograms, plus wall-clock ``span`` timers;
+* **tracing** (:mod:`.tracer`) — simulator events (interval
+  boundaries, buffer swaps, context switches, verdicts, alarms) with
+  simulated-time timestamps, exported as Chrome trace-event JSON
+  (open in ``chrome://tracing`` / Perfetto) or JSONL;
+* **provenance** (:mod:`.manifest`) — a run manifest recording
+  config, seeds, versions, host and a metrics snapshot alongside any
+  output artefact.
+
+Usage contract
+--------------
+Observability is **disabled by default**: the globals below hand out
+shared no-op instruments whose methods do nothing, so instrumented hot
+loops pay one bound-method call.  Components cache their instruments
+at construction, therefore :func:`enable` must run *before* the
+instrumented objects (``Platform``, ``MhmDetector``...) are built:
+
+    from repro import obs
+
+    registry, tracer = obs.enable()
+    platform = Platform(PlatformConfig(seed=7))   # now instrumented
+    ...
+    tracer.write_chrome("trace.json")
+    print(registry.snapshot())
+    obs.disable()
+
+or, scoped (used throughout the tests)::
+
+    with obs.observed() as (registry, tracer):
+        ...
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple, Union
+
+from .manifest import RunInfo, host_info, to_jsonable
+from .registry import (
+    DEFAULT_TIME_BUCKETS_US,
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+    Span,
+)
+from .timing import Timer, span
+from .tracer import NOOP_TRACER, EventTracer, NoopTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "Timer",
+    "span",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "EventTracer",
+    "NoopTracer",
+    "RunInfo",
+    "host_info",
+    "to_jsonable",
+    "DEFAULT_TIME_BUCKETS_US",
+    "metrics",
+    "tracer",
+    "is_enabled",
+    "enable",
+    "disable",
+    "observed",
+]
+
+_metrics: Union[MetricsRegistry, NoopMetricsRegistry] = NOOP_METRICS
+_tracer: Union[EventTracer, NoopTracer] = NOOP_TRACER
+
+
+def metrics() -> Union[MetricsRegistry, NoopMetricsRegistry]:
+    """The current process-wide metrics registry (no-op when disabled)."""
+    return _metrics
+
+
+def tracer() -> Union[EventTracer, NoopTracer]:
+    """The current process-wide event tracer (no-op when disabled)."""
+    return _tracer
+
+
+def is_enabled() -> bool:
+    return _metrics.enabled or _tracer.enabled
+
+
+def enable(
+    with_metrics: bool = True, with_tracing: bool = True
+) -> Tuple[Union[MetricsRegistry, NoopMetricsRegistry], Union[EventTracer, NoopTracer]]:
+    """Install fresh live instruments; returns ``(registry, tracer)``.
+
+    Must be called before constructing the objects to observe — they
+    cache their instruments at ``__init__`` time.
+    """
+    global _metrics, _tracer
+    if with_metrics:
+        _metrics = MetricsRegistry()
+    if with_tracing:
+        _tracer = EventTracer()
+    return _metrics, _tracer
+
+
+def disable() -> None:
+    """Reset both globals to the shared no-op singletons."""
+    global _metrics, _tracer
+    _metrics = NOOP_METRICS
+    _tracer = NOOP_TRACER
+
+
+@contextmanager
+def observed(with_metrics: bool = True, with_tracing: bool = True):
+    """Scoped :func:`enable`; restores the previous globals on exit."""
+    global _metrics, _tracer
+    previous = (_metrics, _tracer)
+    try:
+        yield enable(with_metrics=with_metrics, with_tracing=with_tracing)
+    finally:
+        _metrics, _tracer = previous

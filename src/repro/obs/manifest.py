@@ -1,0 +1,124 @@
+"""Run provenance: the manifest written next to detector/monitor output.
+
+A result file without its provenance is unreproducible: the paper's
+protocol fixes seeds, interval counts and region parameters, and a
+reproduction must record which of those a given artefact was produced
+with.  :class:`RunInfo` captures the command, full platform
+configuration, seeds, interval counts, package version, host info and
+a metrics snapshot, and serialises them to JSON.
+
+:func:`to_jsonable` is the shared serialiser — it also backs the CLI's
+``--json`` output, so heat maps, reports and manifests all round-trip
+through the same conversion rules (numpy scalars/arrays, dataclasses,
+tuples, paths).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform as _platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["to_jsonable", "host_info", "RunInfo"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into plain JSON-encodable data."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):  # includes np.float64, a float subclass
+        return float(obj) if np.isfinite(obj) else repr(float(obj))
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        value = float(obj)
+        return value if np.isfinite(value) else repr(value)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "__fspath__"):
+        return os.fspath(obj)
+    return repr(obj)
+
+
+def host_info() -> dict:
+    """Where the run happened (enough to explain wall-clock numbers)."""
+    return {
+        "platform": _platform.platform(),
+        "machine": _platform.machine(),
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclass
+class RunInfo:
+    """Everything needed to say *what produced this output file*."""
+
+    command: str
+    argv: list = field(default_factory=list)
+    seed: Optional[int] = None
+    intervals: Optional[int] = None
+    config: dict = field(default_factory=dict)
+    version: str = ""
+    host: dict = field(default_factory=host_info)
+    created_unix: float = field(default_factory=time.time)
+    metrics: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        config: Any = None,
+        seed: Optional[int] = None,
+        intervals: Optional[int] = None,
+        metrics: Optional[dict] = None,
+        **extra: Any,
+    ) -> "RunInfo":
+        """Build a manifest from live objects (config may be a dataclass)."""
+        from repro import __version__  # local import: repro/__init__ is upstream
+
+        return cls(
+            command=command,
+            argv=list(sys.argv[1:]),
+            seed=seed,
+            intervals=intervals,
+            config=to_jsonable(config) if config is not None else {},
+            version=__version__,
+            metrics=to_jsonable(metrics or {}),
+            extra=to_jsonable(extra),
+        )
+
+    def to_dict(self) -> dict:
+        return to_jsonable(dataclasses.asdict(self))
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    @classmethod
+    def read(cls, path) -> dict:
+        """Load a previously written manifest (as a plain dict)."""
+        with open(path) as fh:
+            return json.load(fh)

@@ -1,0 +1,344 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+The observability layer must never perturb what it observes — the
+Memometer/secure-core pipeline is bit-for-bit deterministic and the
+property tests hold it to that.  Two consequences shape this module:
+
+* instruments only *read* wall-clock time and never touch any RNG or
+  simulated state;
+* when observability is disabled, every instrument is a shared no-op
+  singleton whose methods do nothing, so an instrumented hot loop pays
+  one bound-method call and nothing else (no branching, no dict
+  lookups, no allocation).
+
+Components grab their instruments **once at construction** (e.g. the
+Memometer caches its counters in ``__init__``), so observability must
+be enabled *before* the instrumented objects are built — the CLI does
+this, and :func:`repro.obs.observed` scopes it for tests.
+
+Instruments are registered by name: asking a registry twice for
+``counter("x")`` returns the same object, which is what lets several
+components share an aggregate and lets :meth:`MetricsRegistry.snapshot`
+export everything at once.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import time
+from typing import Dict, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "NOOP_METRICS",
+    "DEFAULT_TIME_BUCKETS_US",
+]
+
+#: Default histogram buckets for wall-clock timings, in microseconds.
+#: Spans 10 µs (one GMM density evaluation) to 100 s (a full-scale
+#: training run), roughly geometric.
+DEFAULT_TIME_BUCKETS_US = (
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    500_000.0,
+    1_000_000.0,
+    10_000_000.0,
+    100_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    enabled = True
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, budget, best likelihood)."""
+
+    __slots__ = ("name", "value")
+    enabled = True
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with running count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow
+    bucket (``le = inf``) catches everything above the last bound.
+    An observation lands in the first bucket whose bound is >= the
+    value.  Bounds are sorted at construction.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    enabled = True
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_US):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(self.bounds)) != len(self.bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the upper bound of the bucket holding
+        the q-th observation (``inf`` if it landed in overflow)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            cumulative += n
+            if cumulative >= target:
+                return self.bounds[i] if i < len(self.bounds) else math.inf
+        return math.inf
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [
+                {"le": bound, "count": n}
+                for bound, n in zip(self.bounds, self.bucket_counts)
+            ]
+            + [{"le": "inf", "count": self.bucket_counts[-1]}],
+        }
+
+
+class Span:
+    """Context manager timing a phase into a histogram (microseconds).
+
+    Re-entrant-safe by being cheap to construct; one is built per
+    ``with`` block via :meth:`MetricsRegistry.span`.
+    """
+
+    __slots__ = ("histogram", "_start_ns", "elapsed_us")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._start_ns = 0
+        self.elapsed_us = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed_us = (time.perf_counter_ns() - self._start_ns) / 1_000.0
+        self.histogram.observe(self.elapsed_us)
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments plus a one-call JSON-able snapshot."""
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, factory, kind: type) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is already a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_US
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, buckets), Histogram)
+
+    def timer(self, name: str) -> Histogram:
+        """A histogram of wall-clock durations in microseconds."""
+        return self.histogram(name, DEFAULT_TIME_BUCKETS_US)
+
+    def span(self, name: str) -> Span:
+        """``with registry.span("train.pca"): ...`` — times the block."""
+        return Span(self.timer(name))
+
+    def names(self) -> list:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict:
+        """All instruments as plain JSON-able data, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+
+# ----------------------------------------------------------------------
+# No-op implementation (observability disabled)
+# ----------------------------------------------------------------------
+class _NoopCounter:
+    __slots__ = ()
+    value = 0
+    enabled = False
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": 0}
+
+
+class _NoopGauge:
+    __slots__ = ()
+    value = 0.0
+    enabled = False
+
+    def set(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": 0.0}
+
+
+class _NoopHistogram:
+    __slots__ = ()
+    enabled = False
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": "histogram", "count": 0}
+
+
+class _NoopSpan:
+    __slots__ = ()
+    elapsed_us = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_COUNTER = _NoopCounter()
+_NOOP_GAUGE = _NoopGauge()
+_NOOP_HISTOGRAM = _NoopHistogram()
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopMetricsRegistry:
+    """Hands out shared do-nothing instruments; zero state, zero cost."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NoopCounter:
+        return _NOOP_COUNTER
+
+    def gauge(self, name: str) -> _NoopGauge:
+        return _NOOP_GAUGE
+
+    def histogram(self, name: str, buckets=DEFAULT_TIME_BUCKETS_US) -> _NoopHistogram:
+        return _NOOP_HISTOGRAM
+
+    def timer(self, name: str) -> _NoopHistogram:
+        return _NOOP_HISTOGRAM
+
+    def span(self, name: str) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def names(self) -> list:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+#: The module-level disabled registry (shared singleton).
+NOOP_METRICS = NoopMetricsRegistry()

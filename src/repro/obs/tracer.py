@@ -1,0 +1,178 @@
+"""Event tracing with Chrome trace-event JSON export.
+
+The simulator's interesting instants — scheduler dispatches, timer
+interrupts, Memometer buffer swaps, interval boundaries, detector
+verdicts, alarms — are recorded with **simulated-time** timestamps and
+exported in the Chrome trace-event format, so a run can be opened
+directly in ``chrome://tracing`` or https://ui.perfetto.dev.  A plain
+JSONL export (one event object per line) is provided for ad-hoc
+scripting (``jq``, pandas).
+
+Timestamp convention: the trace-event ``ts``/``dur`` fields are in
+*microseconds* (the format's unit); we emit simulated nanoseconds
+divided by 1,000, so one trace second is one simulated second.  Wall
+clock never appears in the trace — wall-clock profiling lives in the
+metrics registry (:mod:`repro.obs.registry`).
+
+Like the metrics registry, the tracer has a no-op twin handed out when
+observability is disabled; emitting against it costs one bound-method
+call.  Hot paths that would *build* an args dict can check the class
+attribute ``tracer.enabled`` first.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["TRACE_CATEGORIES", "EventTracer", "NoopTracer", "NOOP_TRACER"]
+
+#: Categories used by the built-in instrumentation (for filtering in
+#: the trace viewer).  Free-form strings are also accepted.
+TRACE_CATEGORIES = ("sim", "hw", "sched", "detector", "alarm")
+
+
+class EventTracer:
+    """Collects trace events in memory; exports Chrome JSON / JSONL."""
+
+    enabled = True
+
+    def __init__(self, process_name: str = "repro"):
+        self.process_name = process_name
+        self.events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def instant(
+        self,
+        name: str,
+        time_ns: int,
+        category: str = "sim",
+        args: Optional[dict] = None,
+        track: int = 0,
+    ) -> None:
+        """A point event (``ph = "i"``) at simulated time ``time_ns``."""
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "ts": time_ns / 1_000.0,
+            "pid": 1,
+            "tid": track,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def complete(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: int,
+        category: str = "sim",
+        args: Optional[dict] = None,
+        track: int = 0,
+    ) -> None:
+        """A duration event (``ph = "X"``) spanning ``duration_ns``."""
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": start_ns / 1_000.0,
+            "dur": duration_ns / 1_000.0,
+            "pid": 1,
+            "tid": track,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name: str, time_ns: int, values: dict, track: int = 0) -> None:
+        """A counter-track sample (``ph = "C"``) — graphs in the viewer."""
+        self.events.append(
+            {
+                "name": name,
+                "cat": "sim",
+                "ph": "C",
+                "ts": time_ns / 1_000.0,
+                "pid": 1,
+                "tid": track,
+                "args": dict(values),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def _metadata_events(self) -> list[dict]:
+        return [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+
+    def chrome_trace(self) -> dict:
+        """The full trace as a Chrome trace-event JSON object."""
+        return {
+            "traceEvents": self._metadata_events() + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "simulated", "source": "repro.obs"},
+        }
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh)
+            fh.write("\n")
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event))
+                fh.write("\n")
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NoopTracer:
+    """Do-nothing twin handed out while tracing is disabled."""
+
+    enabled = False
+    events: list = []
+
+    def instant(self, name, time_ns, category="sim", args=None, track=0) -> None:
+        pass
+
+    def complete(self, name, start_ns, duration_ns, category="sim", args=None, track=0) -> None:
+        pass
+
+    def counter(self, name, time_ns, values, track=0) -> None:
+        pass
+
+    def chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path) -> None:
+        raise RuntimeError("tracing is disabled; enable repro.obs before running")
+
+    def write_jsonl(self, path) -> None:
+        raise RuntimeError("tracing is disabled; enable repro.obs before running")
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The module-level disabled tracer (shared singleton).
+NOOP_TRACER = NoopTracer()

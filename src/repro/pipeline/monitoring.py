@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..learn.detector import MhmDetector
 from ..sim.platform import Platform
 
@@ -83,6 +84,24 @@ class OnlineMonitor:
         self._streak = 0
         self.alarms: list[Alarm] = []
         self._attached = False
+        registry = obs.metrics()
+        interval_us = platform.config.interval_ns / 1_000.0
+        # Wall-clock scoring time per interval, bucketed against the
+        # real-time budget: the paper's point is analysis ≪ interval.
+        self._metric_analysis_us = registry.histogram(
+            "monitor.analysis_wall_us",
+            buckets=tuple(
+                interval_us * f
+                for f in (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
+            ),
+        )
+        registry.gauge("monitor.interval_budget_us").set(interval_us)
+        self._metric_scored = registry.counter("monitor.intervals_scored")
+        self._metric_flagged = registry.counter("monitor.intervals_flagged")
+        self._metric_alarms = registry.counter("monitor.alarms")
+        self._metric_overruns = registry.counter("monitor.budget_overruns")
+        self._interval_us = interval_us
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     def attach(self) -> None:
@@ -92,9 +111,16 @@ class OnlineMonitor:
         theta = self.detector.threshold(self.p_percent)
 
         def scorer(heat_map):
-            log_density = self.detector.log_density(heat_map)
+            with obs.Timer() as timer:
+                log_density = self.detector.log_density(heat_map)
+            elapsed_us = timer.elapsed_us
+            self._metric_analysis_us.observe(elapsed_us)
+            self._metric_scored.inc()
+            if elapsed_us > self._interval_us:
+                self._metric_overruns.inc()
             anomalous = log_density < theta
             if anomalous:
+                self._metric_flagged.inc()
                 self._streak += 1
                 if self._streak == self.consecutive_for_alarm:
                     self.alarms.append(
@@ -104,6 +130,17 @@ class OnlineMonitor:
                             consecutive=self._streak,
                             log_density=log_density,
                         )
+                    )
+                    self._metric_alarms.inc()
+                    self._tracer.instant(
+                        "monitor.alarm",
+                        self.platform.now,
+                        category="alarm",
+                        args={
+                            "interval_index": heat_map.interval_index,
+                            "consecutive": self._streak,
+                            "log_density": float(log_density),
+                        },
                     )
             else:
                 self._streak = 0
@@ -128,7 +165,8 @@ class OnlineMonitor:
         secure_core = self.platform.secure_core
         start = len(secure_core.online_results)
         alarm_start = len(self.alarms)
-        self.platform.run_intervals(intervals)
+        with obs.span("monitor.run"):
+            self.platform.run_intervals(intervals)
         results = secure_core.online_results[start:]
 
         analysis_us = results[0].analysis_time_us if results else 0.0

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..attacks.base import Attack
 from ..core.series import HeatMapSeries
+from ..obs import span
 from ..sim.platform import Platform
 
 __all__ = ["ScenarioEvent", "ScenarioResult", "ScenarioRunner"]
@@ -122,7 +123,8 @@ class ScenarioRunner:
         start_index = platform.intervals_completed
         events: list[ScenarioEvent] = []
 
-        platform.run_intervals(pre_intervals)
+        with span("scenario.pre"):
+            platform.run_intervals(pre_intervals)
 
         offset = int(inject_offset_fraction * interval_ns)
         inject_at = platform.now + offset
@@ -134,7 +136,8 @@ class ScenarioRunner:
                 interval_index=platform.intervals_completed - start_index,
             )
         )
-        platform.run_intervals(attack_intervals)
+        with span("scenario.attack"):
+            platform.run_intervals(attack_intervals)
 
         if post_intervals > 0:
             revert_at = platform.now + offset
@@ -146,7 +149,8 @@ class ScenarioRunner:
                     interval_index=platform.intervals_completed - start_index,
                 )
             )
-            platform.run_intervals(post_intervals)
+            with span("scenario.post"):
+                platform.run_intervals(post_intervals)
 
         series = platform.secure_core.series(start=start_index)
         return ScenarioResult(name=attack.name, series=series, events=events)

@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..core.series import HeatMapSeries
 from ..learn.detector import MhmDetector
+from ..obs import span
 from ..sim.platform import Platform, PlatformConfig
 
 __all__ = ["TrainingData", "collect_training_data", "train_detector"]
@@ -64,12 +65,15 @@ def collect_training_data(
     config = config or PlatformConfig()
 
     training = HeatMapSeries(config.spec)
-    for run in range(runs):
-        platform = Platform(config.with_seed(base_seed + run))
-        training.extend(platform.collect_intervals(intervals_per_run))
+    with span("collect.training"):
+        for run in range(runs):
+            with span("collect.training_run"):
+                platform = Platform(config.with_seed(base_seed + run))
+                training.extend(platform.collect_intervals(intervals_per_run))
 
-    validation_platform = Platform(config.with_seed(base_seed + runs))
-    validation = validation_platform.collect_intervals(validation_intervals)
+    with span("collect.validation"):
+        validation_platform = Platform(config.with_seed(base_seed + runs))
+        validation = validation_platform.collect_intervals(validation_intervals)
     return TrainingData(training=training, validation=validation)
 
 
@@ -96,4 +100,5 @@ def train_detector(
         seed=seed,
         **detector_kwargs,
     )
-    return detector.fit(data.training, data.validation)
+    with span("train.fit"):
+        return detector.fit(data.training, data.validation)

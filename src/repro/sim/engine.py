@@ -18,6 +18,8 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from .. import obs
+
 __all__ = ["EventHandle", "Simulator", "NS_PER_US", "NS_PER_MS", "NS_PER_SEC"]
 
 NS_PER_US = 1_000
@@ -59,6 +61,10 @@ class Simulator:
         self._queue: list[EventHandle] = []
         self._seq = itertools.count()
         self._running = False
+        registry = obs.metrics()
+        self._metric_executed = registry.counter("sim.events_executed")
+        self._metric_runs = registry.counter("sim.run_until_calls")
+        self._metric_queue_depth = registry.gauge("sim.queue_depth")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -143,6 +149,9 @@ class Simulator:
         finally:
             self._running = False
         self.now = end_time_ns
+        self._metric_executed.inc(executed)
+        self._metric_runs.inc()
+        self._metric_queue_depth.set(len(self._queue))
         return executed
 
     def run_for(self, duration_ns: int) -> int:

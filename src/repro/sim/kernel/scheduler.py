@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ... import obs
 from ..engine import EventHandle, Simulator
 from ..task import Job, TaskDefinition
 from .kernel import Kernel
@@ -102,6 +103,13 @@ class RMScheduler:
         self.context_switches = 0
         self.busy_ns = 0
         self._task_index = 0
+        registry = obs.metrics()
+        self._metric_dispatches = registry.counter("sched.dispatches")
+        self._metric_switches = registry.counter("sched.context_switches")
+        self._metric_releases = registry.counter("sched.job_releases")
+        self._metric_preemptions = registry.counter("sched.preemptions")
+        self._metric_misses = registry.counter("sched.deadline_misses")
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     # Task admission
@@ -176,8 +184,10 @@ class RMScheduler:
         if tcb.active_job is not None:
             # Previous job overran its period: skip this release.
             tcb.stats.deadline_misses += 1
+            self._metric_misses.inc()
             return
         tcb.stats.releases += 1
+        self._metric_releases.inc()
         job = Job(defn, release_ns=self.sim.now, rng=self.rng, user_base=tcb.user_base)
         tcb.active_job = job
         self.kernel.run_service("kernel.job_release", core=self.core_id)
@@ -209,6 +219,7 @@ class RMScheduler:
         self._cancel_current_event()
         job.preemptions += 1
         self._tasks[job.task.name].stats.preemptions += 1
+        self._metric_preemptions.inc()
         self._ready.append(job)
         self._current = None
 
@@ -243,9 +254,19 @@ class RMScheduler:
         self._current = job
         self._dispatched_at = self.sim.now
         job.dispatch_stamp += 1
+        self._metric_dispatches.inc()
         if self._last_running != job.task.name:
             self.kernel.run_service("kernel.context_switch", core=self.core_id)
             self.context_switches += 1
+            self._metric_switches.inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "sched.context_switch",
+                    self.sim.now,
+                    category="sched",
+                    args={"task": job.task.name, "core": self.core_id},
+                    track=self.core_id,
+                )
             self._last_running = job.task.name
         self._emit_user_slice(job)
         self._schedule_milestone(job)

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.series import HeatMapSeries
 from ..core.spec import HeatMapSpec
 from ..hw.cache import L1_CONFIG, L2_CONFIG, CacheFilter, SetAssociativeCache
@@ -141,7 +142,7 @@ class Platform:
         self.scheduler = self.schedulers[0]
         self.processes = ProcessManager(self.sim, self.kernel, self.schedulers)
 
-        self.secure_core = SecureCore(self.spec)
+        self.secure_core = SecureCore(self.spec, clock=lambda: self.sim.now)
         self.memometer = Memometer(
             ControlRegisters(
                 base_address=self.config.base_address,
@@ -162,6 +163,11 @@ class Platform:
             device = NetworkDevice(self.sim, self.kernel, device_config, self.rng)
             device.start()
             self.devices.append(device)
+
+        registry = obs.metrics()
+        self._metric_ticks = registry.counter("platform.ticks")
+        self._metric_intervals = registry.counter("platform.intervals")
+        self._tracer = obs.tracer()
 
         self.sim.schedule_periodic(self.config.tick_period_ns, self._on_tick)
         if self.config.enable_kworker:
@@ -189,6 +195,9 @@ class Platform:
     # ------------------------------------------------------------------
     def _on_tick(self) -> None:
         # Each monitored core takes its own timer interrupt (SMP).
+        self._metric_ticks.inc()
+        if self._tracer.enabled:
+            self._tracer.instant("irq.timer_tick", self.sim.now, category="sim")
         for scheduler in self.schedulers:
             self.kernel.run_service("kernel.tick", core=scheduler.core_id)
             if scheduler.is_idle:
@@ -198,6 +207,22 @@ class Platform:
         self.kernel.run_service("kernel.kworker")
 
     def _on_interval_boundary(self) -> None:
+        self._metric_intervals.inc()
+        if self._tracer.enabled:
+            index = self.memometer.intervals_completed
+            self._tracer.complete(
+                "monitoring.interval",
+                self.sim.now - self.config.interval_ns,
+                self.config.interval_ns,
+                category="sim",
+                args={"interval_index": index},
+            )
+            self._tracer.instant(
+                "interval.boundary",
+                self.sim.now,
+                category="sim",
+                args={"interval_index": index},
+            )
         self.memometer.interval_boundary(self.sim.now)
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ REPORT_ORDER: tuple[str, ...] = (
     "test_ablation_stealth",
     "test_ablation_temporal",
     "test_ablation_training_size",
+    "test_obs_overhead",
 )
 
 

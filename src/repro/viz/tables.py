@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "format_metrics"]
 
 
 def format_table(
@@ -37,3 +37,48 @@ def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as sectioned tables.
+
+    One table per instrument kind (counters, gauges, histograms),
+    each sorted by metric name; empty sections are omitted.
+    """
+    counters = []
+    gauges = []
+    histograms = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        if kind == "counter":
+            counters.append([name, data.get("value", 0)])
+        elif kind == "gauge":
+            gauges.append([name, data.get("value", 0.0)])
+        elif kind == "histogram":
+            histograms.append(
+                [
+                    name,
+                    data.get("count", 0),
+                    data.get("mean", 0.0),
+                    data.get("min") if data.get("min") is not None else "-",
+                    data.get("max") if data.get("max") is not None else "-",
+                ]
+            )
+
+    sections = []
+    if counters:
+        sections.append(format_table(["counter", "value"], counters, title="counters"))
+    if gauges:
+        sections.append(format_table(["gauge", "value"], gauges, title="gauges"))
+    if histograms:
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "min", "max"],
+                histograms,
+                title="histograms (µs unless noted)",
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

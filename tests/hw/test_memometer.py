@@ -206,3 +206,65 @@ class TestStatistics:
 
     def test_drop_rate_empty(self):
         assert Memometer(make_registers()).drop_rate == 0.0
+
+
+class TestSaturationMetrics:
+    """Saturation is a silent data-loss mode — it must be observable.
+
+    Regression guard: both datapaths clamp at COUNTER_MAX *and* bump
+    the ``memometer.saturated`` counter once per saturated update, so
+    an experiment that quietly clips its heat maps shows up in the
+    metrics snapshot.
+    """
+
+    def test_scalar_saturation_increments_counter(self):
+        from repro import obs
+
+        with obs.observed() as (registry, _):
+            memometer = Memometer(make_registers())
+            memometer.observe(0x1000, weight=COUNTER_MAX)
+            assert registry.counter("memometer.saturated").value == 0
+            memometer.observe(0x1000)  # would exceed -> clamps
+            memometer.observe(0x1000)  # clamps again
+            assert memometer.active_counts()[0] == COUNTER_MAX
+            assert registry.counter("memometer.saturated").value == 2
+
+    def test_burst_saturation_counts_each_saturated_cell(self):
+        from repro import obs
+
+        with obs.observed() as (registry, _):
+            memometer = Memometer(make_registers())
+            # Two cells at the limit, one far below it.
+            memometer.observe_burst(
+                make_burst([0x1000, 0x1100], [COUNTER_MAX, COUNTER_MAX])
+            )
+            memometer.observe_burst(
+                make_burst([0x1000, 0x1100, 0x1200], [5, 1, 1])
+            )
+            counts = memometer.active_counts()
+            assert counts[0] == COUNTER_MAX
+            assert counts[1] == COUNTER_MAX
+            assert counts[2] == 1
+            assert registry.counter("memometer.saturated").value == 2
+
+    def test_clamp_preserved_with_observability_disabled(self):
+        from repro import obs
+
+        obs.disable()
+        memometer = Memometer(make_registers())
+        memometer.observe(0x1000, weight=COUNTER_MAX)
+        memometer.observe(0x1000, weight=COUNTER_MAX)
+        memometer.observe_burst(make_burst([0x1000], [COUNTER_MAX]))
+        assert memometer.active_counts()[0] == COUNTER_MAX
+
+    def test_access_accounting_counters(self):
+        from repro import obs
+
+        with obs.observed() as (registry, _):
+            memometer = Memometer(make_registers())
+            memometer.observe(0x1000)  # accepted
+            memometer.observe(0x0)  # filtered
+            memometer.observe_burst(make_burst([0x1000, 0x0, 0x1200]))
+            assert registry.counter("memometer.snooped_accesses").value == 5
+            assert registry.counter("memometer.accepted_accesses").value == 3
+            assert registry.counter("memometer.filtered_accesses").value == 2

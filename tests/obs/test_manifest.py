@@ -1,0 +1,91 @@
+"""Tests for run provenance (RunInfo) and the shared JSON serialiser."""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro import obs
+from repro.obs.manifest import RunInfo, host_info, to_jsonable
+from repro.sim.platform import PlatformConfig
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_arrays_become_lists(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+        assert to_jsonable(np.array([[1.0, 2.0]])) == [[1.0, 2.0]]
+
+    def test_non_finite_floats_are_stringified(self):
+        assert to_jsonable(float("inf")) == "inf"
+        assert to_jsonable(np.float64("nan")) == "nan"
+
+    def test_dataclasses_and_tuples(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            label: str
+
+        assert to_jsonable(Point(1, "a")) == {"x": 1, "label": "a"}
+        assert to_jsonable((1, (2, 3))) == [1, [2, 3]]
+
+    def test_platform_config_serialises(self):
+        payload = to_jsonable(PlatformConfig(seed=7))
+        json.dumps(payload)  # fully encodable
+        assert payload["seed"] == 7
+        assert payload["granularity"] == 2048
+        assert isinstance(payload["tasks"], list)
+        assert payload["tasks"][0]["name"]
+
+    def test_everything_else_reprs(self):
+        payload = to_jsonable(object())
+        assert isinstance(payload, str) and "object" in payload
+
+
+class TestHostInfo:
+    def test_fields(self):
+        info = host_info()
+        assert set(info) >= {"platform", "machine", "python", "numpy", "cpu_count"}
+        json.dumps(info)
+
+
+class TestRunInfo:
+    def test_collect_captures_version_and_metrics(self):
+        with obs.observed() as (registry, _tracer):
+            registry.counter("x").inc(5)
+            info = RunInfo.collect(
+                command="train",
+                config=PlatformConfig(seed=3),
+                seed=3,
+                intervals=120,
+                metrics=registry.snapshot(),
+                detector_out="d.npz",
+            )
+        assert info.version == repro.__version__
+        assert info.seed == 3
+        assert info.intervals == 120
+        assert info.metrics["x"]["value"] == 5
+        assert info.extra["detector_out"] == "d.npz"
+        assert info.config["seed"] == 3
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        info = RunInfo.collect(command="monitor", seed=1, intervals=10)
+        info.write(path)
+        loaded = RunInfo.read(path)
+        assert loaded["command"] == "monitor"
+        assert loaded["seed"] == 1
+        assert loaded["host"]["python"] == host_info()["python"]
+        assert math.isfinite(loaded["created_unix"])
+
+    def test_manifest_is_valid_json_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        RunInfo.collect(command="attack", config=PlatformConfig()).write(path)
+        json.loads(path.read_text())

@@ -1,0 +1,160 @@
+"""Tests for the metrics registry: instruments, bucketing, no-op twin."""
+
+import math
+import time
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS_US,
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(7)
+        assert counter.snapshot() == {"type": "counter", "value": 7}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.set(-1.0)
+        assert gauge.value == -1.0
+        assert gauge.snapshot() == {"type": "gauge", "value": -1.0}
+
+
+class TestHistogramBucketing:
+    def test_bounds_are_inclusive_upper(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        hist.observe(1.0)  # == first bound -> bucket 0
+        hist.observe(1.5)  # -> bucket 1 (le=2)
+        hist.observe(2.0)  # == second bound -> bucket 1
+        hist.observe(5.0)  # == last bound -> bucket 2
+        assert hist.bucket_counts == [1, 2, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.bucket_counts == [0, 0, 1]
+        snapshot = hist.snapshot()
+        assert snapshot["buckets"][-1] == {"le": "inf", "count": 1}
+
+    def test_bounds_sorted_at_construction(self):
+        hist = Histogram("h", buckets=(5.0, 1.0, 2.0))
+        assert hist.bounds == (1.0, 2.0, 5.0)
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_running_stats(self):
+        hist = Histogram("h", buckets=(10.0,))
+        for v in (1.0, 3.0, 8.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(12.0)
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.min == 1.0
+        assert hist.max == 8.0
+
+    def test_quantile_approximation(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 0.6, 1.5, 4.0):
+            hist.observe(v)
+        assert hist.quantile(0.5) == 1.0  # 2 of 4 obs in the le=1 bucket
+        assert hist.quantile(1.0) == 5.0
+        assert Histogram("h2", buckets=(1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_overflow_is_inf(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(9.0)
+        assert hist.quantile(1.0) == math.inf
+
+    def test_empty_snapshot_min_max_none(self):
+        snapshot = Histogram("h", buckets=(1.0,)).snapshot()
+        assert snapshot["min"] is None and snapshot["max"] is None
+
+
+class TestRegistry:
+    def test_instruments_are_registered_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already a Counter"):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_and_jsonable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.5)
+        registry.histogram("c", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b", "c"]
+        json.dumps(snapshot)  # must not raise
+
+    def test_span_times_into_timer_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("phase"):
+            time.sleep(0.001)
+        hist = registry.get("phase")
+        assert hist.count == 1
+        assert hist.total >= 1_000.0  # at least 1 ms in µs
+
+    def test_timer_uses_default_buckets(self):
+        registry = MetricsRegistry()
+        assert registry.timer("t").bounds == tuple(DEFAULT_TIME_BUCKETS_US)
+
+
+class TestNoopRegistry:
+    def test_shared_singletons(self):
+        registry = NoopMetricsRegistry()
+        assert registry.counter("a") is registry.counter("b")
+        assert registry.histogram("a") is registry.timer("b")
+        assert registry.gauge("a") is NOOP_METRICS.gauge("z")
+
+    def test_all_operations_are_inert(self):
+        registry = NoopMetricsRegistry()
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(5.0)
+        registry.histogram("h").observe(1.0)
+        with registry.span("s"):
+            pass
+        assert registry.counter("c").value == 0
+        assert registry.snapshot() == {}
+        assert registry.names() == []
+        assert registry.get("c") is None
+
+    def test_enabled_flags(self):
+        assert MetricsRegistry().enabled is True
+        assert NoopMetricsRegistry().enabled is False

@@ -1,0 +1,105 @@
+"""Tests for the event tracer and its Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import NOOP_TRACER, EventTracer, NoopTracer
+
+#: Keys required of every Chrome trace event (plus "dur" for ph=X).
+REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+class TestRecording:
+    def test_instant_event(self):
+        tracer = EventTracer()
+        tracer.instant("boundary", 10_000_000, category="sim", args={"i": 3})
+        (event,) = tracer.events
+        assert event["name"] == "boundary"
+        assert event["ph"] == "i"
+        assert event["ts"] == 10_000.0  # ns -> µs
+        assert event["args"] == {"i": 3}
+
+    def test_complete_event_has_duration(self):
+        tracer = EventTracer()
+        tracer.complete("interval", 0, 10_000_000)
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["ts"] == 0.0
+        assert event["dur"] == 10_000.0
+
+    def test_counter_event(self):
+        tracer = EventTracer()
+        tracer.counter("queue", 5_000, {"depth": 7})
+        (event,) = tracer.events
+        assert event["ph"] == "C"
+        assert event["args"] == {"depth": 7}
+
+    def test_len_and_clear(self):
+        tracer = EventTracer()
+        tracer.instant("a", 0)
+        tracer.instant("b", 1)
+        assert len(tracer) == 2
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestChromeSchema:
+    def test_chrome_trace_is_valid_json_with_schema(self, tmp_path):
+        tracer = EventTracer(process_name="repro-test")
+        tracer.instant("interval.boundary", 10_000_000, args={"interval_index": 0})
+        tracer.complete("monitoring.interval", 0, 10_000_000)
+        tracer.counter("sim.queue_depth", 1_000, {"depth": 4})
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(path)
+
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded["traceEvents"], list)
+        assert loaded["displayTimeUnit"] == "ms"
+        payload_events = [e for e in loaded["traceEvents"] if e["ph"] != "M"]
+        assert len(payload_events) == 3
+        for event in payload_events:
+            assert REQUIRED_KEYS <= set(event)
+            assert isinstance(event["ts"], (int, float))
+            assert event["ph"] in {"i", "X", "C"}
+            if event["ph"] == "X":
+                assert isinstance(event["dur"], (int, float))
+        metadata = [e for e in loaded["traceEvents"] if e["ph"] == "M"]
+        assert metadata[0]["args"] == {"name": "repro-test"}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = EventTracer()
+        tracer.instant("a", 1_000)
+        tracer.instant("b", 2_000)
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["a", "b"]
+
+    def test_simulated_timestamps_preserve_order(self):
+        tracer = EventTracer()
+        for t in (5, 50, 500):
+            tracer.instant("e", t * 1_000_000)
+        stamps = [e["ts"] for e in tracer.events]
+        assert stamps == sorted(stamps)
+        assert stamps == [5_000.0, 50_000.0, 500_000.0]
+
+
+class TestNoopTracer:
+    def test_recording_is_inert(self):
+        tracer = NoopTracer()
+        tracer.instant("a", 0)
+        tracer.complete("b", 0, 1)
+        tracer.counter("c", 0, {"v": 1})
+        assert len(tracer) == 0
+        assert tracer.chrome_trace()["traceEvents"] == []
+
+    def test_write_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="disabled"):
+            NOOP_TRACER.write_chrome(tmp_path / "x.json")
+        with pytest.raises(RuntimeError, match="disabled"):
+            NOOP_TRACER.write_jsonl(tmp_path / "x.jsonl")
+
+    def test_enabled_flags(self):
+        assert EventTracer().enabled is True
+        assert NoopTracer().enabled is False

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_ALARM, EXIT_OK, build_parser, main
 
 
 @pytest.fixture(scope="module")
@@ -23,7 +25,7 @@ def trained_detector_path(tmp_path_factory):
             str(path),
         ]
     )
-    assert code == 0
+    assert code == EXIT_OK
     return path
 
 
@@ -42,6 +44,11 @@ class TestParser:
                 ["attack", "--detector", "x", "--scenario", "nuke"]
             )
 
+    def test_usage_error_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["monitor"])  # missing --detector
+        assert excinfo.value.code == 2
+
 
 class TestCommands:
     def test_train_writes_detector(self, trained_detector_path, capsys):
@@ -58,7 +65,7 @@ class TestCommands:
             ]
         )
         captured = capsys.readouterr()
-        assert code == 0
+        assert code == EXIT_OK
         assert "intervals flagged" in captured.out
 
     def test_attack_scenarios(self, trained_detector_path, capsys):
@@ -77,11 +84,255 @@ class TestCommands:
                 ]
             )
             captured = capsys.readouterr()
-            assert code == 0
+            # Exit 3 means the scenario raised an alarm — the expected
+            # outcome for a detected attack; 0 means it went unnoticed.
+            assert code in (EXIT_OK, EXIT_ALARM)
             assert scenario in captured.out
+            assert "alarms" in captured.out
 
     def test_heatmap(self, capsys):
         code = main(["heatmap", "--interval-index", "2", "--width", "64"])
         captured = capsys.readouterr()
-        assert code == 0
+        assert code == EXIT_OK
         assert "AddrBase" in captured.out
+
+
+class TestExitCodes:
+    def test_shellcode_attack_raises_alarm(self, trained_detector_path, capsys):
+        """The blatant attack must be detected -> exit 3 (EXIT_ALARM)."""
+        code = main(
+            [
+                "attack",
+                "--detector",
+                str(trained_detector_path),
+                "--scenario",
+                "shellcode",
+                "--pre",
+                "20",
+                "--during",
+                "30",
+            ]
+        )
+        capsys.readouterr()
+        assert code == EXIT_ALARM
+
+    def test_missing_detector_is_clean_error(self, capsys):
+        code = main(["monitor", "--detector", "ghost.npz", "--intervals", "5"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+
+    def test_bad_trace_directory_fails_before_running(
+        self, trained_detector_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "monitor",
+                "--detector",
+                str(trained_detector_path),
+                "--intervals",
+                "5",
+                "--trace",
+                str(tmp_path / "nodir" / "t.json"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "does not exist" in captured.err
+
+    def test_monitor_normal_is_exit_ok(self, trained_detector_path, capsys):
+        code = main(
+            [
+                "monitor",
+                "--detector",
+                str(trained_detector_path),
+                "--intervals",
+                "30",
+                "--alarm-consecutive",
+                "5",
+            ]
+        )
+        capsys.readouterr()
+        assert code == EXIT_OK
+
+
+class TestJsonOutput:
+    def test_heatmap_json(self, capsys):
+        code = main(["heatmap", "--interval-index", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_OK
+        assert payload["command"] == "heatmap"
+        assert payload["interval_index"] == 1
+        assert len(payload["counts"]) == payload["spec"]["num_cells"]
+        assert all(isinstance(c, int) for c in payload["counts"])
+
+    def test_monitor_json(self, trained_detector_path, capsys):
+        code = main(
+            [
+                "monitor",
+                "--detector",
+                str(trained_detector_path),
+                "--intervals",
+                "20",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (EXIT_OK, EXIT_ALARM)
+        assert payload["command"] == "monitor"
+        assert payload["intervals"] == 20
+        assert len(payload["log10_densities"]) == 20
+        assert isinstance(payload["log10_threshold"], float)
+
+    def test_attack_json(self, trained_detector_path, capsys):
+        code = main(
+            [
+                "attack",
+                "--detector",
+                str(trained_detector_path),
+                "--scenario",
+                "shellcode",
+                "--pre",
+                "15",
+                "--during",
+                "20",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "attack"
+        assert payload["scenario"] == "shellcode"
+        assert payload["attack_interval"] == 15
+        if code == EXIT_ALARM:
+            assert payload["alarms"]
+            assert payload["first_alarm_interval"] >= payload["attack_interval"]
+
+
+class TestObservabilityArtifacts:
+    def test_monitor_trace_and_manifest(self, trained_detector_path, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        manifest = tmp_path / "metrics.json"
+        code = main(
+            [
+                "monitor",
+                "--detector",
+                str(trained_detector_path),
+                "--intervals",
+                "10",
+                "--trace",
+                str(trace),
+                "--metrics-out",
+                str(manifest),
+            ]
+        )
+        capsys.readouterr()
+        assert code in (EXIT_OK, EXIT_ALARM)
+
+        loaded = json.loads(trace.read_text())
+        names = {e["name"] for e in loaded["traceEvents"]}
+        assert "interval.boundary" in names
+        assert "memometer.buffer_swap" in names
+        boundaries = [
+            e for e in loaded["traceEvents"] if e["name"] == "interval.boundary"
+        ]
+        assert len(boundaries) == 10
+        # Simulated timestamps: interval i ends at (i+1) * 10 ms.
+        assert boundaries[0]["ts"] == pytest.approx(10_000.0)
+
+        data = json.loads(manifest.read_text())
+        assert data["command"] == "monitor"
+        assert data["intervals"] == 10
+        assert data["metrics"]["monitor.intervals_scored"]["value"] == 10
+        assert data["metrics"]["monitor.analysis_wall_us"]["count"] == 10
+        assert data["extra"]["trace_events"] == len(loaded["traceEvents"]) - 1
+
+    def test_attack_trace_contains_alarm_events(
+        self, trained_detector_path, tmp_path, capsys
+    ):
+        trace = tmp_path / "attack.json"
+        code = main(
+            [
+                "attack",
+                "--detector",
+                str(trained_detector_path),
+                "--scenario",
+                "shellcode",
+                "--pre",
+                "15",
+                "--during",
+                "20",
+                "--trace",
+                str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert code == EXIT_ALARM
+        names = [e["name"] for e in json.loads(trace.read_text())["traceEvents"]]
+        assert "monitor.alarm" in names
+        assert "detector.verdict" in names
+
+    def test_jsonl_trace_extension(self, trained_detector_path, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(
+            [
+                "monitor",
+                "--detector",
+                str(trained_detector_path),
+                "--intervals",
+                "5",
+                "--trace",
+                str(trace),
+            ]
+        )
+        capsys.readouterr()
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert lines and all("name" in line and "ts" in line for line in lines)
+
+    def test_train_manifest_has_phase_timings(self, tmp_path, capsys):
+        manifest = tmp_path / "train.json"
+        code = main(
+            [
+                "train",
+                "--runs",
+                "1",
+                "--intervals",
+                "30",
+                "--validation",
+                "30",
+                "--restarts",
+                "1",
+                "--gaussians",
+                "2",
+                "--out",
+                str(tmp_path / "d.npz"),
+                "--metrics-out",
+                str(manifest),
+            ]
+        )
+        capsys.readouterr()
+        assert code == EXIT_OK
+        metrics = json.loads(manifest.read_text())["metrics"]
+        for phase in ("collect.training", "collect.validation", "train.fit"):
+            assert metrics[phase]["count"] >= 1
+            assert metrics[phase]["total"] > 0.0
+
+    def test_stats_renders_manifest(self, trained_detector_path, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        main(
+            [
+                "monitor",
+                "--detector",
+                str(trained_detector_path),
+                "--intervals",
+                "5",
+                "--metrics-out",
+                str(manifest),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["stats", str(manifest)])
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "run manifest" in out
+        assert "monitor.intervals_scored" in out
+        assert "counters" in out
