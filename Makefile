@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-smoke check report examples clean
+.PHONY: install test test-fast bench bench-smoke check report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# Tier-1 without the cacheprovider plugin (no .pytest_cache churn) and
+# with any warning raised *from repro code* promoted to an error, so
+# new deprecations in our own modules fail CI instead of scrolling by.
+test-fast:
+	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -W "error:::repro"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

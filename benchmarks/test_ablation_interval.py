@@ -5,49 +5,55 @@ the detection latency floor (one MHM per interval) and how many task
 phases each MHM aggregates — too short and maps get sparse/noisy, too
 long and anomalies are averaged away.  This ablation sweeps the
 interval against the shellcode scenario.
+
+Each interval is one seeded :class:`~repro.pipeline.runner.ExperimentJob`
+(training seed 90, validation 91, scenario 92 — the historical values);
+the sweep keeps total observed time constant (~2.5 s of training).
 """
 
-import numpy as np
-
-from repro.attacks import ShellcodeAttack
-from repro.learn.detector import MhmDetector
-from repro.learn.metrics import roc_auc_from_scores
-from repro.pipeline.scenario import ScenarioRunner
+from repro.pipeline.runner import ExperimentJob, ExperimentRunner, TrainSpec, expand_grid
 from repro.sim.engine import NS_PER_MS
 from repro.sim.platform import Platform, PlatformConfig
 
 INTERVALS_MS = (5, 10, 20, 50)
 
 
-def _evaluate(interval_ms):
-    config = PlatformConfig(interval_ns=interval_ms * NS_PER_MS, seed=90)
-    # Keep total observed time constant (~2.5 s of training).
-    train_count = int(2_500 / interval_ms)
-    training = Platform(config).collect_intervals(train_count)
-    validation = Platform(config.with_seed(91)).collect_intervals(train_count // 2)
-    detector = MhmDetector(em_restarts=2, seed=0).fit(training, validation)
+def _grid():
+    jobs = []
+    for point in expand_grid({"interval_ms": INTERVALS_MS}):
+        interval_ms = point["interval_ms"]
+        train_count = int(2_500 / interval_ms)
+        span = int(800 / interval_ms)
+        jobs.append(
+            ExperimentJob(
+                name=f"interval-{interval_ms}ms",
+                config=PlatformConfig(interval_ns=interval_ms * NS_PER_MS, seed=90),
+                train=TrainSpec(
+                    runs=1,
+                    intervals_per_run=train_count,
+                    validation_intervals=train_count // 2,
+                    base_seed=90,
+                ),
+                scenario="shellcode",
+                detector_params=(("em_restarts", 2), ("seed", 0)),
+                pre_intervals=span,
+                attack_intervals=span,
+                scenario_seed=92,
+            )
+        )
+    return jobs
 
-    platform = Platform(config.with_seed(92))
-    pre = int(800 / interval_ms)
-    during = int(800 / interval_ms)
-    result = ScenarioRunner(platform).run(
-        ShellcodeAttack(), pre_intervals=pre, attack_intervals=during
-    )
-    densities = detector.score_series(result.series)
-    truth = result.ground_truth()
-    auc = roc_auc_from_scores(-densities, truth)
-    flags = densities < detector.threshold(1.0)
-    fpr = float(flags[:pre].mean())
-    latency_intervals = int(np.argmax(flags[pre:])) if flags[pre:].any() else -1
-    latency_ms = latency_intervals * interval_ms if latency_intervals >= 0 else -1
-    return auc, fpr, latency_ms
 
+def test_ablation_interval(benchmark, report, tmp_path):
+    run_results = ExperimentRunner(jobs=1, cache_dir=tmp_path / "cache").run(_grid())
 
-def test_ablation_interval(benchmark, report):
     rows = []
     results = {}
-    for interval_ms in INTERVALS_MS:
-        auc, fpr, latency_ms = _evaluate(interval_ms)
+    for interval_ms, res in zip(INTERVALS_MS, run_results):
+        auc = res.summary["auc"]
+        fpr = res.summary["pre_fpr_theta_1"]
+        latency_intervals = res.summary["latency_theta_1"]
+        latency_ms = latency_intervals * interval_ms if latency_intervals >= 0 else -1
         results[interval_ms] = (auc, fpr, latency_ms)
         rows.append(
             [

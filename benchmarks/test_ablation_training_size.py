@@ -7,58 +7,72 @@ latter two; this ablation answers the first: sweep the training-set
 size (with the validation set scaled alongside) and measure what a
 deployment cares about — false positives on *fresh* boots (assumption
 (ii): were enough execution contexts profiled?) and detection quality.
+
+The sweep is a runner grid: one job per (runs, intervals) point, all
+sharing the fixed evaluation scenario (seed 941) — which the artifact
+cache therefore simulates exactly once.  Each job's fitted detector is
+rebuilt from its stored arrays (``JobResult.detector``) to score the
+fresh-boot series, without retraining.
 """
 
-import numpy as np
-
-from repro.attacks import AppLaunchAttack
 from repro.learn.detector import MhmDetector
-from repro.learn.metrics import roc_auc_from_scores
-from repro.pipeline.scenario import ScenarioRunner
-from repro.pipeline.training import collect_training_data
+from repro.pipeline.runner import ExperimentJob, ExperimentRunner, TrainSpec
 from repro.sim.platform import Platform, PlatformConfig
 
 #: (runs, intervals per run) — total training MHMs = product.
 SWEEP = ((1, 100), (1, 300), (4, 250), (10, 300))
 
 
-def test_ablation_training_size(benchmark, report):
+def _grid(config):
+    return [
+        ExperimentJob(
+            name=f"train-{runs}x{per_run}",
+            config=config,
+            train=TrainSpec(
+                runs=runs,
+                intervals_per_run=per_run,
+                validation_intervals=max(100, runs * per_run // 5),
+                base_seed=500,
+            ),
+            scenario="app-launch",
+            detector_params=(("em_restarts", 3), ("seed", 0)),
+            pre_intervals=60,
+            attack_intervals=60,
+            scenario_seed=941,
+        )
+        for runs, per_run in SWEEP
+    ]
+
+
+def test_ablation_training_size(benchmark, report, tmp_path):
     config = PlatformConfig()
 
-    # One fixed evaluation workload for every detector.
+    # One fixed evaluation workload for every detector: the attack
+    # scenario lives inside each job (same seed -> one cache entry);
+    # the fresh boot is scored locally against each rebuilt detector.
     fresh_boot = Platform(config.with_seed(940)).collect_intervals(150)
-    attack_platform = Platform(config.with_seed(941))
-    result = ScenarioRunner(attack_platform).run(
-        AppLaunchAttack(), pre_intervals=60, attack_intervals=60
-    )
-    truth = result.ground_truth()
+
+    results = ExperimentRunner(jobs=1, cache_dir=tmp_path / "cache").run(_grid(config))
 
     rows = []
     fresh_fprs = {}
-    for runs, per_run in SWEEP:
+    for (runs, per_run), res in zip(SWEEP, results):
         total = runs * per_run
-        data = collect_training_data(
-            config,
-            runs=runs,
-            intervals_per_run=per_run,
-            validation_intervals=max(100, total // 5),
-            base_seed=500,
-        )
-        detector = MhmDetector(em_restarts=3, seed=0).fit(
-            data.training, data.validation
-        )
+        detector = res.detector()
         fresh_fpr = float(detector.classify_series(fresh_boot, 1.0).mean())
-        densities = detector.score_series(result.series)
-        auc = roc_auc_from_scores(-densities, truth)
         fresh_fprs[total] = fresh_fpr
         rows.append(
             [
                 f"{total:,} ({runs} x {per_run})",
-                detector.num_eigenmemories_,
+                res.num_eigenmemories,
                 f"{fresh_fpr:.1%}",
-                f"{auc:.3f}",
+                f"{res.summary['auc']:.3f}",
             ]
         )
+
+    # The shared evaluation scenario must have been simulated once and
+    # served from cache for the remaining sweep points.
+    assert sum(r.cache_hits.get("scenario", 0) for r in results) == len(SWEEP) - 1
 
     report.table(
         [

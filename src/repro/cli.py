@@ -12,6 +12,14 @@ Python — the workflow a deployment would actually script:
     # replay one of the paper's attack scenarios and score it
     python -m repro.cli attack --detector detector.npz --scenario rootkit
 
+    # run the full evaluation grid across 4 worker processes, with
+    # simulation/training stages memoised in the artifact cache
+    python -m repro.cli experiments --jobs 4 --replicas 2
+
+    # inspect or empty the on-disk artifact cache
+    python -m repro.cli cache stats
+    python -m repro.cli cache clear
+
     # inspect a single simulated heat map
     python -m repro.cli heatmap --interval-index 5
 
@@ -49,10 +57,13 @@ import sys
 import numpy as np
 
 from . import obs
-from .attacks import AppLaunchAttack, ShellcodeAttack, SyscallHijackRootkit
 from .learn.detector import MhmDetector
+from .pipeline.cache import ArtifactCache
+from .pipeline.experiments import PAPER_SCALE, QUICK_SCALE
 from .pipeline.monitoring import OnlineMonitor
+from .pipeline.runner import ExperimentRunner, build_grid_jobs
 from .pipeline.scenario import ScenarioRunner
+from .pipeline.stages import SCENARIOS as _SCENARIOS
 from .pipeline.training import collect_training_data, train_detector
 from .sim.platform import Platform, PlatformConfig
 from .viz.ascii import render_heatmap, render_series
@@ -67,11 +78,7 @@ EXIT_ALARM = 3
 
 LN10 = float(np.log(10.0))
 
-_SCENARIOS = {
-    "app-launch": lambda: AppLaunchAttack(),
-    "shellcode": lambda: ShellcodeAttack(),
-    "rootkit": lambda: SyscallHijackRootkit(),
-}
+_SCALES = {"quick": QUICK_SCALE, "paper": PAPER_SCALE}
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -145,6 +152,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report on stdout"
     )
     _add_obs_arguments(attack)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="run a scenario/ablation grid in parallel with artifact caching",
+    )
+    experiments.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick",
+        help="training/scenario sizing (paper = full Section 5.2 protocol)",
+    )
+    experiments.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(_SCENARIOS),
+        help="scenario(s) to run (repeatable; default: all)",
+    )
+    experiments.add_argument(
+        "--replicas", type=int, default=1,
+        help="independent scenario boots per grid point",
+    )
+    experiments.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; per-job seeds derive from it via SeedSequence.spawn",
+    )
+    experiments.add_argument(
+        "--granularity",
+        help="comma-separated MHM granularity sweep, e.g. 2048,4096",
+    )
+    experiments.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes"
+    )
+    experiments.add_argument(
+        "--cache-dir", help="artifact cache root (default ~/.cache/repro)"
+    )
+    experiments.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk cache"
+    )
+    experiments.add_argument("--train-runs", type=int, help="override training boots")
+    experiments.add_argument(
+        "--train-intervals", type=int, help="override MHMs per training boot"
+    )
+    experiments.add_argument(
+        "--validation", type=int, help="override held-out calibration MHMs"
+    )
+    experiments.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    _add_obs_arguments(experiments)
+
+    cache = sub.add_parser("cache", help="inspect or empty the artifact cache")
+    cache.add_argument("cache_action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir", help="artifact cache root (default ~/.cache/repro)"
+    )
 
     heatmap = sub.add_parser("heatmap", help="render one simulated MHM")
     heatmap.add_argument("--interval-index", type=int, default=0)
@@ -395,6 +455,127 @@ def _report_json(args, report, densities, detector) -> dict:
     )
 
 
+def _cmd_experiments(args) -> int:
+    scale = _SCALES[args.scale]
+    scenarios = args.scenario or sorted(_SCENARIOS)
+    config_axes = None
+    if args.granularity:
+        config_axes = {
+            "granularity": [int(v) for v in args.granularity.split(",") if v]
+        }
+    train_overrides = {}
+    if args.train_runs is not None:
+        train_overrides["runs"] = args.train_runs
+    if args.train_intervals is not None:
+        train_overrides["intervals_per_run"] = args.train_intervals
+    if args.validation is not None:
+        train_overrides["validation_intervals"] = args.validation
+
+    jobs = build_grid_jobs(
+        scenarios,
+        scale,
+        root_seed=args.seed,
+        replicas=args.replicas,
+        config_axes=config_axes,
+        train_overrides=train_overrides or None,
+    )
+    runner = ExperimentRunner(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+    results = runner.run(jobs)
+    hits = sum(sum(r.cache_hits.values()) for r in results)
+    misses = sum(sum(r.cache_misses.values()) for r in results)
+
+    if args.json:
+        payload = {
+            "command": "experiments",
+            "scale": args.scale,
+            "root_seed": args.seed,
+            "jobs": args.jobs,
+            "cache": not args.no_cache,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "results": [
+                {
+                    **r.summary,
+                    "cache_hits": r.cache_hits,
+                    "cache_misses": r.cache_misses,
+                    "stage_seconds": r.stage_seconds,
+                    "fingerprint": r.fingerprint(),
+                }
+                for r in results
+            ],
+        }
+        print(json.dumps(obs.to_jsonable(payload), indent=2))
+    else:
+        rows = [
+            [
+                r.job.name,
+                r.num_eigenmemories,
+                f"{r.summary['auc']:.3f}",
+                f"{r.summary['pre_fpr_theta_1']:.1%}",
+                f"{r.summary['detection_rate_theta_1']:.1%}",
+                r.summary["latency_theta_1"],
+                ",".join(r.computed_stages) or "(all cached)",
+                f"{sum(r.stage_seconds.values()):.2f}s",
+            ]
+            for r in results
+        ]
+        print(
+            format_table(
+                [
+                    "job",
+                    "L'",
+                    "AUC",
+                    "pre-FPR@th1",
+                    "det-rate@th1",
+                    "latency",
+                    "computed stages",
+                    "time",
+                ],
+                rows,
+                title=f"experiment grid ({len(results)} jobs, "
+                f"--jobs {args.jobs}, scale {args.scale})",
+            )
+        )
+        print(f"cache: {hits} hit(s), {misses} miss(es)")
+    _obs_finish(
+        args,
+        "experiments",
+        seed=args.seed,
+        intervals=sum(r.summary["intervals"] for r in results),
+        scale=args.scale,
+        grid_jobs=len(results),
+        workers=args.jobs,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+    return EXIT_OK
+
+
+def _cmd_cache(args) -> int:
+    cache = ArtifactCache(args.cache_dir)
+    if args.cache_action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.dir}")
+        return EXIT_OK
+    stats = cache.stats()
+    rows = [
+        [stage, info["entries"], f"{info['bytes'] / 1024:.1f} KiB"]
+        for stage, info in stats["stages"].items()
+    ]
+    rows.append(["total", stats["entries"], f"{stats['bytes'] / 1024:.1f} KiB"])
+    print(
+        format_table(
+            ["stage", "entries", "size"],
+            rows,
+            title=f"artifact cache at {stats['root']} ({stats['namespace']})",
+        )
+    )
+    return EXIT_OK
+
+
 def _cmd_heatmap(args) -> int:
     platform = Platform(PlatformConfig(seed=args.seed))
     series = platform.collect_intervals(args.interval_index + 1)
@@ -448,6 +629,8 @@ _HANDLERS = {
     "train": _cmd_train,
     "monitor": _cmd_monitor,
     "attack": _cmd_attack,
+    "experiments": _cmd_experiments,
+    "cache": _cmd_cache,
     "heatmap": _cmd_heatmap,
     "stats": _cmd_stats,
 }

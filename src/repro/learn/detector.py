@@ -205,8 +205,13 @@ class MhmDetector:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
-        """Serialise the fitted detector to an ``.npz`` archive."""
+    def to_arrays(self) -> dict:
+        """The complete fitted state as a flat ``name -> ndarray`` dict.
+
+        This is the canonical fit-result serialisation: :meth:`save`
+        writes exactly these arrays to an ``.npz`` archive, and the
+        pipeline's artifact cache stores them as a cache entry.
+        """
         self._require_fitted()
         pca = self.eigenmemory.to_arrays()
         gmm = self.gmm.to_arrays()
@@ -214,51 +219,59 @@ class MhmDetector:
         quantile_values = np.array(
             [self.thresholds.threshold(q) for q in quantile_keys], dtype=np.float64
         )
-        np.savez_compressed(
-            path,
-            pca_mean=pca["mean"],
-            pca_components=pca["components"],
-            pca_eigenvalues=pca["eigenvalues"],
-            pca_ratio=pca["explained_variance_ratio"],
-            pca_all_eigenvalues=pca["all_eigenvalues"],
-            gmm_weights=gmm["weights"],
-            gmm_means=gmm["means"],
-            gmm_covariances=gmm["covariances"],
-            quantile_keys=quantile_keys,
-            quantile_values=quantile_values,
+        return {
+            "pca_mean": pca["mean"],
+            "pca_components": pca["components"],
+            "pca_eigenvalues": pca["eigenvalues"],
+            "pca_ratio": pca["explained_variance_ratio"],
+            "pca_all_eigenvalues": pca["all_eigenvalues"],
+            "gmm_weights": gmm["weights"],
+            "gmm_means": gmm["means"],
+            "gmm_covariances": gmm["covariances"],
+            "quantile_keys": quantile_keys,
+            "quantile_values": quantile_values,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "MhmDetector":
+        """Rebuild a fitted detector from :meth:`to_arrays` output."""
+        detector = cls(
+            num_eigenmemories=len(arrays["pca_components"]),
+            num_gaussians=len(arrays["gmm_weights"]),
         )
+        detector.eigenmemory = Eigenmemory.from_arrays(
+            {
+                "mean": arrays["pca_mean"],
+                "components": arrays["pca_components"],
+                "eigenvalues": arrays["pca_eigenvalues"],
+                "explained_variance_ratio": arrays["pca_ratio"],
+                "all_eigenvalues": arrays["pca_all_eigenvalues"],
+            }
+        )
+        detector.gmm = GaussianMixtureModel.from_arrays(
+            {
+                "weights": arrays["gmm_weights"],
+                "means": arrays["gmm_means"],
+                "covariances": arrays["gmm_covariances"],
+            }
+        )
+        detector.thresholds = ThresholdBank(
+            thresholds={
+                float(k): float(v)
+                for k, v in zip(arrays["quantile_keys"], arrays["quantile_values"])
+            }
+        )
+        detector.quantiles = tuple(detector.thresholds.quantiles)
+        return detector
+
+    def save(self, path) -> None:
+        """Serialise the fitted detector to an ``.npz`` archive."""
+        np.savez_compressed(path, **self.to_arrays())
 
     @classmethod
     def load(cls, path) -> "MhmDetector":
         with np.load(path) as data:
-            detector = cls(
-                num_eigenmemories=len(data["pca_components"]),
-                num_gaussians=len(data["gmm_weights"]),
-            )
-            detector.eigenmemory = Eigenmemory.from_arrays(
-                {
-                    "mean": data["pca_mean"],
-                    "components": data["pca_components"],
-                    "eigenvalues": data["pca_eigenvalues"],
-                    "explained_variance_ratio": data["pca_ratio"],
-                    "all_eigenvalues": data["pca_all_eigenvalues"],
-                }
-            )
-            detector.gmm = GaussianMixtureModel.from_arrays(
-                {
-                    "weights": data["gmm_weights"],
-                    "means": data["gmm_means"],
-                    "covariances": data["gmm_covariances"],
-                }
-            )
-            detector.thresholds = ThresholdBank(
-                thresholds={
-                    float(k): float(v)
-                    for k, v in zip(data["quantile_keys"], data["quantile_values"])
-                }
-            )
-            detector.quantiles = tuple(detector.thresholds.quantiles)
-        return detector
+            return cls.from_arrays({name: data[name] for name in data.files})
 
     def _require_fitted(self) -> None:
         if not self.is_fitted:

@@ -1,5 +1,7 @@
-"""Experiment pipeline: training protocol and scenario execution."""
+"""Experiment pipeline: training protocol, scenario execution, and the
+parallel/cached experiment runner."""
 
+from .cache import ArtifactCache, default_cache_root
 from .experiments import (
     PAPER_SCALE,
     QUICK_SCALE,
@@ -14,10 +16,28 @@ from .experiments import (
     run_shellcode_experiment,
 )
 from .monitoring import Alarm, MonitoringReport, OnlineMonitor
+from .runner import (
+    ExperimentJob,
+    ExperimentRunner,
+    JobResult,
+    TrainSpec,
+    build_grid_jobs,
+    expand_grid,
+    run_job,
+)
 from .scenario import ScenarioEvent, ScenarioResult, ScenarioRunner
 from .training import TrainingData, collect_training_data, train_detector
 
 __all__ = [
+    "ArtifactCache",
+    "default_cache_root",
+    "ExperimentJob",
+    "ExperimentRunner",
+    "JobResult",
+    "TrainSpec",
+    "build_grid_jobs",
+    "expand_grid",
+    "run_job",
     "TrainingData",
     "collect_training_data",
     "train_detector",

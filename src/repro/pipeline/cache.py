@@ -1,0 +1,263 @@
+"""Content-addressed on-disk cache for expensive pipeline artifacts.
+
+The evaluation grid re-simulates MHM traces and re-trains detectors
+from scratch on every run, which dominates wall-clock time.  Every one
+of those stages is a pure function of ``(configuration, seed)``, so
+their outputs can be memoised on disk and shared between runs — and
+between the worker processes of :mod:`repro.pipeline.runner`.
+
+Design:
+
+* **Content addressing** — an entry's key is the SHA-256 of a
+  canonical JSON rendering of everything that determines the output:
+  the stage name, the full platform/training configuration, every
+  seed, and a code-relevant version (package version + cache schema).
+  Changing any of those yields a different key; stale entries are
+  never *wrongly* reused, merely orphaned.
+* **Atomic writes** — entries are serialised to a temporary file in
+  the destination directory and published with :func:`os.replace`, so
+  concurrent writers (parallel runner workers racing on the same key)
+  can never interleave bytes; readers see either the old complete
+  entry or the new complete entry.
+* **Corruption detection** — the entry file embeds a SHA-256 digest
+  of its payload.  Truncated, bit-flipped or foreign files fail
+  verification and are treated as a miss (and unlinked), never a
+  crash: the caller recomputes and rewrites.
+* **Namespacing** — all entries live under ``<root>/repro-artifacts``
+  so ``clear()`` (and the ``repro cache clear`` CLI) removes only this
+  package's files even when the root directory is shared.
+
+The default root is ``$REPRO_CACHE_DIR``, falling back to
+``~/.cache/repro`` (honouring ``$XDG_CACHE_HOME``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .. import obs
+
+__all__ = ["ArtifactCache", "CACHE_NAMESPACE", "CACHE_SCHEMA_VERSION", "default_cache_root"]
+
+#: Subdirectory of the cache root owned by this package; ``clear()``
+#: never touches anything outside it.
+CACHE_NAMESPACE = "repro-artifacts"
+
+#: Bumped whenever the serialised artifact layout (not the package
+#: version) changes incompatibly; part of every cache key.
+CACHE_SCHEMA_VERSION = 1
+
+#: Entry file layout: magic, SHA-256 of payload, payload (npz bytes).
+_MAGIC = b"RPROART1"
+_DIGEST_BYTES = 32
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro`` (XDG-aware)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical_key(material: dict) -> str:
+    payload = json.dumps(
+        obs.to_jsonable(material), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A content-addressed store of named-array bundles.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory (default: :func:`default_cache_root`).
+        Entries live under ``<root>/repro-artifacts``.
+
+    Entries are ``dict[str, np.ndarray]`` bundles addressed by
+    ``(stage, key)`` where ``key`` comes from :meth:`key`.  Per-stage
+    session hit/miss counts are kept on the instance and mirrored into
+    the live :mod:`repro.obs` metrics registry (``cache.<stage>.hit``
+    / ``.miss`` / ``.corrupt``).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.dir = self.root / CACHE_NAMESPACE
+        self.session_hits: Dict[str, int] = {}
+        self.session_misses: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def key(self, stage: str, material: dict) -> str:
+        """Stable hash of everything that determines a stage's output.
+
+        ``material`` is rendered through :func:`repro.obs.to_jsonable`
+        (dataclasses, numpy scalars and tuples all canonicalise), so a
+        :class:`~repro.sim.platform.PlatformConfig` can be passed
+        directly.  The package version and cache schema version are
+        always mixed in.
+        """
+        from .. import __version__
+
+        return _canonical_key(
+            {
+                "stage": stage,
+                "version": __version__,
+                "schema": CACHE_SCHEMA_VERSION,
+                "material": material,
+            }
+        )
+
+    def entry_path(self, stage: str, key: str) -> Path:
+        return self.dir / stage / key[:2] / f"{key}.art"
+
+    # ------------------------------------------------------------------
+    # Get / put
+    # ------------------------------------------------------------------
+    def get(self, stage: str, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Load an entry, or ``None`` on miss *or* corruption.
+
+        A corrupt entry (truncation, bit flips, foreign file) is
+        unlinked and reported as a miss — callers always fall back to
+        recomputation, never crash.
+        """
+        path = self.entry_path(stage, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._record(stage, hit=False)
+            return None
+        try:
+            arrays = self._decode(blob)
+        except Exception:
+            self._record(stage, hit=False, corrupt=True)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self._record(stage, hit=True)
+        return arrays
+
+    def put(self, stage: str, key: str, arrays: Dict[str, np.ndarray]) -> Path:
+        """Atomically publish an entry (tmp file + ``os.replace``)."""
+        path = self.entry_path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        payload = buffer.getvalue()
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def fetch(
+        self,
+        stage: str,
+        material: dict,
+        compute: Callable[[], Dict[str, np.ndarray]],
+    ) -> tuple:
+        """Memoise ``compute()`` under ``(stage, material)``.
+
+        Returns ``(arrays, hit)`` where ``hit`` says whether the disk
+        entry was used.
+        """
+        key = self.key(stage, material)
+        arrays = self.get(stage, key)
+        if arrays is not None:
+            return arrays, True
+        arrays = {name: np.asarray(value) for name, value in compute().items()}
+        self.put(stage, key, arrays)
+        return arrays, False
+
+    @staticmethod
+    def _decode(blob: bytes) -> Dict[str, np.ndarray]:
+        if len(blob) < len(_MAGIC) + _DIGEST_BYTES:
+            raise ValueError("cache entry too short")
+        if blob[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("bad cache entry magic")
+        digest = blob[len(_MAGIC) : len(_MAGIC) + _DIGEST_BYTES]
+        payload = blob[len(_MAGIC) + _DIGEST_BYTES :]
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError("cache entry checksum mismatch")
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            return {name: data[name] for name in data.files}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Entry counts and byte totals per stage, plus session counts."""
+        stages: Dict[str, dict] = {}
+        total_entries = 0
+        total_bytes = 0
+        if self.dir.is_dir():
+            for stage_dir in sorted(p for p in self.dir.iterdir() if p.is_dir()):
+                entries = 0
+                size = 0
+                for entry in stage_dir.rglob("*.art"):
+                    entries += 1
+                    size += entry.stat().st_size
+                stages[stage_dir.name] = {"entries": entries, "bytes": size}
+                total_entries += entries
+                total_bytes += size
+        return {
+            "root": str(self.root),
+            "namespace": CACHE_NAMESPACE,
+            "stages": stages,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "session_hits": dict(self.session_hits),
+            "session_misses": dict(self.session_misses),
+        }
+
+    def clear(self) -> int:
+        """Remove this package's namespace directory (and nothing else).
+
+        Returns the number of entries removed.
+        """
+        removed = 0
+        if self.dir.is_dir():
+            removed = sum(1 for _ in self.dir.rglob("*.art"))
+            shutil.rmtree(self.dir)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _record(self, stage: str, hit: bool, corrupt: bool = False) -> None:
+        book = self.session_hits if hit else self.session_misses
+        book[stage] = book.get(stage, 0) + 1
+        registry = obs.metrics()
+        registry.counter(f"cache.{stage}.{'hit' if hit else 'miss'}").inc()
+        if corrupt:
+            registry.counter(f"cache.{stage}.corrupt").inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactCache(root={str(self.root)!r})"

@@ -108,20 +108,59 @@ def get_reference_artifacts(
     config: Optional[PlatformConfig] = None,
     seed: int = 0,
     use_cache: bool = True,
+    cache=None,
 ) -> ReferenceArtifacts:
-    """Train (or fetch the memoised) reference detector for a scale."""
+    """Train (or fetch the memoised) reference detector for a scale.
+
+    ``use_cache`` controls the in-process memo.  ``cache`` optionally
+    names an :class:`~repro.pipeline.cache.ArtifactCache` so the
+    collected traces and the fitted detector persist (and are shared)
+    across processes — a cache-warm call skips both the simulation and
+    the training, with bit-identical results.
+    """
     config = config or PlatformConfig()
     key = (scale.name, config, seed)
     if use_cache and key in _ARTIFACT_CACHE:
         return _ARTIFACT_CACHE[key]
-    data = collect_training_data(
-        config,
-        runs=scale.training_runs,
-        intervals_per_run=scale.intervals_per_run,
-        validation_intervals=scale.validation_intervals,
-        base_seed=100 + seed,
-    )
-    detector = train_detector(data, em_restarts=scale.em_restarts, seed=seed)
+    if cache is None:
+        data = collect_training_data(
+            config,
+            runs=scale.training_runs,
+            intervals_per_run=scale.intervals_per_run,
+            validation_intervals=scale.validation_intervals,
+            base_seed=100 + seed,
+        )
+        detector = train_detector(data, em_restarts=scale.em_restarts, seed=seed)
+    else:
+        from .stages import (
+            collect_training_data_cached,
+            detector_material,
+            train_detector_cached,
+            training_material,
+        )
+
+        data, _ = collect_training_data_cached(
+            config,
+            runs=scale.training_runs,
+            intervals_per_run=scale.intervals_per_run,
+            validation_intervals=scale.validation_intervals,
+            base_seed=100 + seed,
+            cache=cache,
+        )
+        material = training_material(
+            config,
+            scale.training_runs,
+            scale.intervals_per_run,
+            scale.validation_intervals,
+            100 + seed,
+        )
+        detector_kwargs = {"em_restarts": scale.em_restarts, "seed": seed}
+        detector, _ = train_detector_cached(
+            lambda: data,
+            detector_material(material, detector_kwargs),
+            detector_kwargs,
+            cache=cache,
+        )
     artifacts = ReferenceArtifacts(
         scale=scale, config=config, data=data, detector=detector
     )

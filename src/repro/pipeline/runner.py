@@ -1,0 +1,491 @@
+"""Parallel experiment runner with deterministic fan-out.
+
+The paper's evaluation is a grid of *independent* runs — scenarios ×
+attacks × ablation axes (granularity δ, L′, J, training-set size) —
+but executing them serially and re-simulating from scratch every time
+is the wall-clock bottleneck of the reproduction.  This module turns
+the grid into explicit jobs and executes them:
+
+* **in parallel** across worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`, ``--jobs N``), and
+* **memoised** through the content-addressed artifact cache of
+  :mod:`repro.pipeline.cache`, so warm reruns skip the simulation and
+  training stages entirely.
+
+Determinism contract
+--------------------
+Results are **bit-identical** regardless of worker count, scheduling
+order, or cache temperature:
+
+* every :class:`ExperimentJob` carries its *own* explicit seeds; jobs
+  never touch shared RNG state;
+* grid builders derive those seeds up front via
+  ``numpy.random.SeedSequence.spawn`` — job *i*'s seeds are a pure
+  function of the root seed and *i*, independent of how many workers
+  later execute the grid or in which order jobs finish;
+* cache entries round-trip through exact integer/float64 arrays, and
+  the fresh-compute path reads back the same arrays it stored.
+
+``tests/pipeline/test_runner_determinism.py`` asserts all of this.
+
+Observability
+-------------
+With :mod:`repro.obs` enabled, a run records ``runner.jobs.launched``
+/ ``completed`` / ``failed`` counters, aggregate ``runner.cache.hit``
+/ ``miss`` counters, per-stage wall-clock histograms
+(``runner.stage.<stage>``), and one trace event per completed job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..learn.detector import MhmDetector
+from ..learn.metrics import detection_latency, roc_auc_from_scores
+from ..sim.platform import Platform, PlatformConfig
+from .cache import ArtifactCache
+from .experiments import ExperimentScale
+from .stages import (
+    DETECTOR_STAGE,
+    SCENARIO_STAGE,
+    SCENARIOS,
+    TRAINING_STAGE,
+    collect_training_data_cached,
+    detector_material,
+    run_scenario_cached,
+    train_detector_cached,
+    training_material,
+)
+
+__all__ = [
+    "TrainSpec",
+    "ExperimentJob",
+    "JobResult",
+    "ExperimentRunner",
+    "expand_grid",
+    "build_grid_jobs",
+    "run_job",
+]
+
+LN10 = float(np.log(10.0))
+
+
+# ----------------------------------------------------------------------
+# Job model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrainSpec:
+    """The training protocol of one job (mirrors the paper's recipe)."""
+
+    runs: int = 3
+    intervals_per_run: int = 120
+    validation_intervals: int = 120
+    base_seed: int = 100
+
+    @property
+    def total(self) -> int:
+        return self.runs * self.intervals_per_run
+
+
+def _freeze(params: Optional[Mapping]) -> tuple:
+    """A mapping as a sorted tuple of pairs (hashable + picklable)."""
+    return tuple(sorted(dict(params or {}).items()))
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One independent unit of the evaluation grid.
+
+    A job is entirely self-describing — configuration and every seed
+    it uses are stored on the job itself, so executing it is a pure
+    function and its result is independent of which worker runs it.
+    """
+
+    name: str
+    config: PlatformConfig
+    train: TrainSpec
+    scenario: str = "app-launch"
+    attack_params: tuple = ()
+    detector_params: tuple = ()
+    pre_intervals: int = 40
+    attack_intervals: int = 40
+    post_intervals: int = 0
+    scenario_seed: int = 999
+    inject_offset_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; "
+                f"choose from {sorted(SCENARIOS)}"
+            )
+
+    @property
+    def detector_kwargs(self) -> dict:
+        return dict(self.detector_params)
+
+
+@dataclass
+class JobResult:
+    """Everything one executed job produced.
+
+    Detector parameters travel as the exact fitted arrays so the
+    determinism suite can compare runs bit-for-bit and drivers can
+    rebuild the detector (:meth:`detector`) without retraining.
+    """
+
+    job: ExperimentJob
+    num_cells: int
+    num_eigenmemories: int
+    detector_arrays: Dict[str, np.ndarray]
+    log10_densities: np.ndarray
+    log10_thresholds: Dict[float, float]
+    verdicts: Dict[float, np.ndarray]
+    ground_truth: np.ndarray
+    attack_interval: int
+    revert_interval: Optional[int]
+    summary: dict
+    cache_hits: Dict[str, int] = field(default_factory=dict)
+    cache_misses: Dict[str, int] = field(default_factory=dict)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    computed_stages: Tuple[str, ...] = ()
+
+    def detector(self) -> MhmDetector:
+        """Rebuild the job's fitted detector (no retraining)."""
+        return MhmDetector.from_arrays(self.detector_arrays)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over detector parameters, densities and verdicts —
+        two runs are bit-identical iff their fingerprints match."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in sorted(self.detector_arrays):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(self.detector_arrays[name]).tobytes())
+        digest.update(np.ascontiguousarray(self.log10_densities).tobytes())
+        for quantile in sorted(self.verdicts):
+            digest.update(repr(quantile).encode())
+            digest.update(np.ascontiguousarray(self.verdicts[quantile]).tobytes())
+        return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Grid expansion and seed derivation
+# ----------------------------------------------------------------------
+def expand_grid(axes: Mapping[str, Sequence]) -> list:
+    """Cartesian product of named axes, in deterministic order.
+
+    ``expand_grid({"a": [1, 2], "b": ["x"]})`` →
+    ``[{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]``.  Axis order follows
+    the mapping's insertion order; the last axis varies fastest.
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+def build_grid_jobs(
+    scenarios: Sequence[str],
+    scale: ExperimentScale,
+    root_seed: int = 0,
+    replicas: int = 1,
+    base_config: Optional[PlatformConfig] = None,
+    config_axes: Optional[Mapping[str, Sequence]] = None,
+    detector_params: Optional[Mapping] = None,
+    train_overrides: Optional[Mapping] = None,
+) -> list:
+    """Expand a scenario/ablation grid into seeded jobs.
+
+    Per-job seeds are derived with ``SeedSequence(root_seed).spawn``:
+    each configuration point gets a spawned child (training base seed
+    + detector seed), and each of its scenario × replica cells gets a
+    grandchild (scenario seed).  Jobs that share a configuration point
+    therefore share one detector — and one cache entry — while every
+    replica sees a fresh, never-trained-on platform boot.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    base_config = base_config or PlatformConfig()
+    config_points = expand_grid(config_axes or {})
+    train_overrides = dict(train_overrides or {})
+    detector_overrides = dict(detector_params or {})
+
+    config_children = np.random.SeedSequence(root_seed).spawn(len(config_points))
+    jobs = []
+    for point, child in zip(config_points, config_children):
+        config = replace(base_config, **point) if point else base_config
+        base_seed, detector_seed = (
+            int(word) for word in child.generate_state(2, np.uint32)
+        )
+        train = TrainSpec(
+            runs=train_overrides.get("runs", scale.training_runs),
+            intervals_per_run=train_overrides.get(
+                "intervals_per_run", scale.intervals_per_run
+            ),
+            validation_intervals=train_overrides.get(
+                "validation_intervals", scale.validation_intervals
+            ),
+            base_seed=base_seed,
+        )
+        det_params = {
+            "em_restarts": scale.em_restarts,
+            "seed": detector_seed,
+            **detector_overrides,
+        }
+        cells = [
+            (scenario, replica)
+            for scenario in scenarios
+            for replica in range(replicas)
+        ]
+        cell_children = child.spawn(len(cells))
+        point_label = "".join(
+            f",{axis}={value}" for axis, value in sorted(point.items())
+        )
+        for (scenario, replica), cell_child in zip(cells, cell_children):
+            scenario_seed = int(cell_child.generate_state(1, np.uint32)[0])
+            jobs.append(
+                ExperimentJob(
+                    name=f"{scenario}{point_label},r{replica}",
+                    config=config,
+                    train=train,
+                    scenario=scenario,
+                    detector_params=_freeze(det_params),
+                    pre_intervals=scale.pre_attack_intervals,
+                    attack_intervals=scale.attack_intervals,
+                    post_intervals=(
+                        scale.post_attack_intervals
+                        if scenario == "app-launch"
+                        else 0
+                    ),
+                    scenario_seed=scenario_seed,
+                )
+            )
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Job execution
+# ----------------------------------------------------------------------
+def run_job(
+    job: ExperimentJob,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> JobResult:
+    """Execute one job: train (or load), simulate (or load), score.
+
+    Safe to call from worker processes — it touches no global state
+    beyond the on-disk cache, whose writes are atomic.
+    """
+    cache = ArtifactCache(cache_dir) if use_cache else None
+    stage_seconds: Dict[str, float] = {}
+    computed: list = []
+    hits: Dict[str, int] = {}
+    misses: Dict[str, int] = {}
+
+    def record(stage: str, hit: bool) -> None:
+        (hits if hit else misses)[stage] = (hits if hit else misses).get(stage, 0) + 1
+        if not hit:
+            computed.append(stage)
+
+    train = job.train
+    train_mat = training_material(
+        job.config,
+        train.runs,
+        train.intervals_per_run,
+        train.validation_intervals,
+        train.base_seed,
+    )
+
+    data_hit: Dict[str, bool] = {}
+
+    def data_provider():
+        started = time.perf_counter()
+        data, hit = collect_training_data_cached(
+            job.config,
+            runs=train.runs,
+            intervals_per_run=train.intervals_per_run,
+            validation_intervals=train.validation_intervals,
+            base_seed=train.base_seed,
+            cache=cache,
+        )
+        stage_seconds[TRAINING_STAGE] = time.perf_counter() - started
+        data_hit["hit"] = hit
+        return data
+
+    started = time.perf_counter()
+    with obs.span(f"runner.stage.{DETECTOR_STAGE}"):
+        detector, detector_hit = train_detector_cached(
+            data_provider,
+            detector_material(train_mat, job.detector_kwargs),
+            job.detector_kwargs,
+            cache=cache,
+        )
+    stage_seconds[DETECTOR_STAGE] = time.perf_counter() - started
+    record(DETECTOR_STAGE, detector_hit)
+    if "hit" in data_hit:
+        record(TRAINING_STAGE, data_hit["hit"])
+
+    started = time.perf_counter()
+    with obs.span(f"runner.stage.{SCENARIO_STAGE}"):
+        result, scenario_hit = run_scenario_cached(
+            job.config,
+            job.scenario,
+            attack_params=dict(job.attack_params),
+            pre_intervals=job.pre_intervals,
+            attack_intervals=job.attack_intervals,
+            post_intervals=job.post_intervals,
+            scenario_seed=job.scenario_seed,
+            inject_offset_fraction=job.inject_offset_fraction,
+            cache=cache,
+        )
+    stage_seconds[SCENARIO_STAGE] = time.perf_counter() - started
+    record(SCENARIO_STAGE, scenario_hit)
+
+    started = time.perf_counter()
+    with obs.span("runner.stage.score"):
+        densities = detector.score_series(result.series)
+        truth = result.ground_truth()
+        attack_interval = result.attack_interval
+        quantiles = tuple(detector.thresholds.quantiles)
+        verdicts = {
+            q: densities < detector.threshold(q) for q in quantiles
+        }
+        summary: dict = {
+            "name": job.name,
+            "scenario": job.scenario,
+            "intervals": len(result.series),
+            "attack_interval": attack_interval,
+            "revert_interval": result.revert_interval,
+            "num_cells": job.config.spec.num_cells,
+            "num_eigenmemories": detector.num_eigenmemories_,
+            "auc": roc_auc_from_scores(-densities, truth),
+        }
+        for q in quantiles:
+            flags = verdicts[q]
+            tag = f"theta_{q:g}"
+            summary[f"pre_fpr_{tag}"] = (
+                float(flags[:attack_interval].mean()) if attack_interval else 0.0
+            )
+            summary[f"detection_rate_{tag}"] = (
+                float(flags[truth].mean()) if truth.any() else 0.0
+            )
+            summary[f"latency_{tag}"] = detection_latency(flags, attack_interval)
+    stage_seconds["score"] = time.perf_counter() - started
+
+    return JobResult(
+        job=job,
+        num_cells=job.config.spec.num_cells,
+        num_eigenmemories=detector.num_eigenmemories_,
+        detector_arrays=detector.to_arrays(),
+        log10_densities=densities / LN10,
+        log10_thresholds={q: detector.log10_threshold(q) for q in quantiles},
+        verdicts=verdicts,
+        ground_truth=truth,
+        attack_interval=attack_interval,
+        revert_interval=result.revert_interval,
+        summary=summary,
+        cache_hits=hits,
+        cache_misses=misses,
+        stage_seconds=stage_seconds,
+        computed_stages=tuple(computed),
+    )
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class ExperimentRunner:
+    """Executes a list of jobs, serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``1`` (default) runs in-process — exact
+        same results, and live :mod:`repro.obs` spans cover the inner
+        stages too.
+    cache_dir:
+        Artifact-cache root (default ``~/.cache/repro`` /
+        ``$REPRO_CACHE_DIR``).
+    use_cache:
+        ``False`` disables the on-disk cache entirely.
+
+    Results are always returned in job order, whatever the completion
+    order.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.use_cache = use_cache
+
+    def run(self, experiment_jobs: Sequence[ExperimentJob]) -> list:
+        experiment_jobs = list(experiment_jobs)
+        registry = obs.metrics()
+        tracer = obs.tracer()
+        start_ns = time.perf_counter_ns()
+        registry.counter("runner.jobs.launched").inc(len(experiment_jobs))
+
+        results: list = [None] * len(experiment_jobs)
+        with registry.span("runner.run"):
+            if self.jobs == 1 or len(experiment_jobs) <= 1:
+                for index, job in enumerate(experiment_jobs):
+                    results[index] = self._guarded(run_job, job, registry)
+            else:
+                workers = min(self.jobs, len(experiment_jobs))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(run_job, job, self.cache_dir, self.use_cache)
+                        for job in experiment_jobs
+                    ]
+                    for index, future in enumerate(futures):
+                        results[index] = self._guarded(
+                            lambda *_: future.result(),
+                            experiment_jobs[index],
+                            registry,
+                        )
+
+        for result in results:
+            registry.counter("runner.jobs.completed").inc()
+            registry.counter("runner.cache.hit").inc(sum(result.cache_hits.values()))
+            registry.counter("runner.cache.miss").inc(
+                sum(result.cache_misses.values())
+            )
+            for stage, seconds in result.stage_seconds.items():
+                registry.timer(f"runner.stage.{stage}").observe(seconds * 1e6)
+            tracer.instant(
+                f"runner.job:{result.job.name}",
+                time_ns=time.perf_counter_ns() - start_ns,
+                category="runner",
+                args={
+                    "scenario": result.job.scenario,
+                    "computed": list(result.computed_stages),
+                    "auc": result.summary.get("auc"),
+                },
+            )
+        return results
+
+    def _guarded(self, call, job: ExperimentJob, registry) -> JobResult:
+        try:
+            return call(job, self.cache_dir, self.use_cache)
+        except Exception:
+            registry.counter("runner.jobs.failed").inc()
+            raise

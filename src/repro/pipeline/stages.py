@@ -1,0 +1,294 @@
+"""Cache-aware pipeline stages: simulate, train, replay.
+
+The expensive stages of the evaluation pipeline — collecting normal
+MHM traces, fitting the eigenmemory/GMM detector, and simulating an
+attack scenario — are pure functions of ``(configuration, seeds)``.
+This module wraps each of them with optional memoisation in an
+:class:`~repro.pipeline.cache.ArtifactCache`:
+
+* :func:`collect_training_data_cached` — normal MHM traces;
+* :func:`train_detector_cached` — fitted PCA basis + GMM parameters
+  + calibrated thresholds (via ``MhmDetector.to_arrays``);
+* :func:`run_scenario_cached` — a full attack-scenario MHM series
+  with its event timeline.
+
+Every function returns ``(value, hit)`` so callers can report cache
+effectiveness.  When ``cache`` is ``None`` the plain uncached path
+runs.  On a miss the output is round-tripped through the exact arrays
+that were stored, so cached and freshly-computed results are
+bit-identical by construction — the determinism test suite holds the
+pipeline to that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..attacks import AppLaunchAttack, ShellcodeAttack, SyscallHijackRootkit
+from ..core.mhm import MemoryHeatMap
+from ..core.series import HeatMapSeries
+from ..core.spec import HeatMapSpec
+from ..learn.detector import MhmDetector
+from ..sim.platform import Platform, PlatformConfig
+from .cache import ArtifactCache
+from .scenario import ScenarioEvent, ScenarioResult, ScenarioRunner
+from .training import TrainingData, collect_training_data, train_detector
+
+__all__ = [
+    "SCENARIOS",
+    "TRAINING_STAGE",
+    "DETECTOR_STAGE",
+    "SCENARIO_STAGE",
+    "make_attack",
+    "series_to_arrays",
+    "series_from_arrays",
+    "training_material",
+    "detector_material",
+    "scenario_material",
+    "collect_training_data_cached",
+    "train_detector_cached",
+    "run_scenario_cached",
+]
+
+#: Attack constructors by scenario name (the CLI and runner job model
+#: share this registry).
+SCENARIOS = {
+    "app-launch": AppLaunchAttack,
+    "shellcode": ShellcodeAttack,
+    "rootkit": SyscallHijackRootkit,
+}
+
+TRAINING_STAGE = "training"
+DETECTOR_STAGE = "detector"
+SCENARIO_STAGE = "scenario"
+
+
+def make_attack(scenario: str, params: Optional[Mapping] = None):
+    """Instantiate a registered attack with constructor overrides."""
+    try:
+        factory = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return factory(**dict(params or {}))
+
+
+# ----------------------------------------------------------------------
+# Series <-> arrays
+# ----------------------------------------------------------------------
+def series_to_arrays(series: HeatMapSeries, prefix: str) -> Dict[str, np.ndarray]:
+    """Flatten a series into cache-storable arrays (exact int64 counts)."""
+    return {
+        f"{prefix}_counts": series.matrix(dtype=np.int64),
+        f"{prefix}_interval_index": np.array(
+            [m.interval_index for m in series], dtype=np.int64
+        ),
+        f"{prefix}_start_time_ns": np.array(
+            [m.start_time_ns for m in series], dtype=np.int64
+        ),
+    }
+
+
+def series_from_arrays(
+    arrays: Mapping[str, np.ndarray], prefix: str, spec: HeatMapSpec
+) -> HeatMapSeries:
+    series = HeatMapSeries(spec)
+    for row, index, start in zip(
+        arrays[f"{prefix}_counts"],
+        arrays[f"{prefix}_interval_index"],
+        arrays[f"{prefix}_start_time_ns"],
+    ):
+        series.append(
+            MemoryHeatMap(
+                spec, row, interval_index=int(index), start_time_ns=int(start)
+            )
+        )
+    return series
+
+
+# ----------------------------------------------------------------------
+# Cache-key material
+# ----------------------------------------------------------------------
+def training_material(
+    config: PlatformConfig,
+    runs: int,
+    intervals_per_run: int,
+    validation_intervals: int,
+    base_seed: int,
+) -> dict:
+    return {
+        "config": config,
+        "runs": runs,
+        "intervals_per_run": intervals_per_run,
+        "validation_intervals": validation_intervals,
+        "base_seed": base_seed,
+    }
+
+
+def detector_material(train_material: dict, detector_kwargs: Mapping) -> dict:
+    return {"train": train_material, "detector": dict(detector_kwargs)}
+
+
+def scenario_material(
+    config: PlatformConfig,
+    scenario: str,
+    attack_params: Mapping,
+    pre_intervals: int,
+    attack_intervals: int,
+    post_intervals: int,
+    scenario_seed: int,
+    inject_offset_fraction: float,
+) -> dict:
+    return {
+        "config": config,
+        "scenario": scenario,
+        "attack": dict(attack_params),
+        "pre_intervals": pre_intervals,
+        "attack_intervals": attack_intervals,
+        "post_intervals": post_intervals,
+        "scenario_seed": scenario_seed,
+        "inject_offset_fraction": inject_offset_fraction,
+    }
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+def collect_training_data_cached(
+    config: PlatformConfig,
+    runs: int,
+    intervals_per_run: int,
+    validation_intervals: int,
+    base_seed: int,
+    cache: Optional[ArtifactCache] = None,
+) -> Tuple[TrainingData, bool]:
+    """Collect (or load) the normal training/validation MHM traces."""
+    if cache is None:
+        data = collect_training_data(
+            config,
+            runs=runs,
+            intervals_per_run=intervals_per_run,
+            validation_intervals=validation_intervals,
+            base_seed=base_seed,
+        )
+        return data, False
+
+    def compute() -> Dict[str, np.ndarray]:
+        data = collect_training_data(
+            config,
+            runs=runs,
+            intervals_per_run=intervals_per_run,
+            validation_intervals=validation_intervals,
+            base_seed=base_seed,
+        )
+        return {
+            **series_to_arrays(data.training, "training"),
+            **series_to_arrays(data.validation, "validation"),
+        }
+
+    material = training_material(
+        config, runs, intervals_per_run, validation_intervals, base_seed
+    )
+    arrays, hit = cache.fetch(TRAINING_STAGE, material, compute)
+    spec = config.spec
+    data = TrainingData(
+        training=series_from_arrays(arrays, "training", spec),
+        validation=series_from_arrays(arrays, "validation", spec),
+    )
+    return data, hit
+
+
+def train_detector_cached(
+    data_provider: Callable[[], TrainingData],
+    material: dict,
+    detector_kwargs: Mapping,
+    cache: Optional[ArtifactCache] = None,
+) -> Tuple[MhmDetector, bool]:
+    """Train (or load) a detector.
+
+    ``data_provider`` is only invoked on a cache miss, so a detector
+    hit skips the training-data stage entirely.  ``material`` must
+    identify the training data (use :func:`detector_material` over the
+    output of :func:`training_material`).
+    """
+    kwargs = dict(detector_kwargs)
+    if cache is None:
+        return train_detector(data_provider(), **kwargs), False
+
+    def compute() -> Dict[str, np.ndarray]:
+        return train_detector(data_provider(), **kwargs).to_arrays()
+
+    arrays, hit = cache.fetch(DETECTOR_STAGE, material, compute)
+    return MhmDetector.from_arrays(arrays), hit
+
+
+def run_scenario_cached(
+    config: PlatformConfig,
+    scenario: str,
+    attack_params: Optional[Mapping] = None,
+    pre_intervals: int = 40,
+    attack_intervals: int = 40,
+    post_intervals: int = 0,
+    scenario_seed: int = 999,
+    inject_offset_fraction: float = 0.3,
+    cache: Optional[ArtifactCache] = None,
+) -> Tuple[ScenarioResult, bool]:
+    """Simulate (or load) one attack scenario on a fresh platform."""
+    attack_params = dict(attack_params or {})
+
+    def simulate() -> ScenarioResult:
+        platform = Platform(config.with_seed(scenario_seed))
+        return ScenarioRunner(platform).run(
+            make_attack(scenario, attack_params),
+            pre_intervals=pre_intervals,
+            attack_intervals=attack_intervals,
+            post_intervals=post_intervals,
+            inject_offset_fraction=inject_offset_fraction,
+        )
+
+    if cache is None:
+        return simulate(), False
+
+    def compute() -> Dict[str, np.ndarray]:
+        result = simulate()
+        return {
+            **series_to_arrays(result.series, "series"),
+            "name": np.array(result.name),
+            "event_labels": np.array(
+                [e.label for e in result.events], dtype=np.str_
+            ),
+            "event_times": np.array(
+                [e.time_ns for e in result.events], dtype=np.int64
+            ),
+            "event_intervals": np.array(
+                [e.interval_index for e in result.events], dtype=np.int64
+            ),
+        }
+
+    material = scenario_material(
+        config,
+        scenario,
+        attack_params,
+        pre_intervals,
+        attack_intervals,
+        post_intervals,
+        scenario_seed,
+        inject_offset_fraction,
+    )
+    arrays, hit = cache.fetch(SCENARIO_STAGE, material, compute)
+    result = ScenarioResult(
+        name=str(arrays["name"]),
+        series=series_from_arrays(arrays, "series", config.spec),
+        events=[
+            ScenarioEvent(label=str(label), time_ns=int(t), interval_index=int(i))
+            for label, t, i in zip(
+                arrays["event_labels"],
+                arrays["event_times"],
+                arrays["event_intervals"],
+            )
+        ],
+    )
+    return result, hit

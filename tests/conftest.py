@@ -17,6 +17,22 @@ from repro.sim.kernel.layout import KernelLayout
 from repro.sim.platform import Platform, PlatformConfig
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression fixtures under tests/fixtures/ "
+        "from the current pipeline output instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_goldens(request) -> bool:
+    """True when the run should rewrite golden fixtures in place."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture(scope="session")
 def layout() -> KernelLayout:
     """The canonical synthetic kernel layout (deterministic)."""
