@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-fast bench bench-smoke check report examples clean
+.PHONY: install test test-fast test-faults bench bench-smoke check report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +14,17 @@ test:
 # new deprecations in our own modules fail CI instead of scrolling by.
 test-fast:
 	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -W "error:::repro"
+
+# The fault campaign: plan semantics, runner hardening drills
+# (retry/timeout/crash), serial-vs-parallel manifest identity, cache
+# sabotage, monitor degradation, golden fault fixture, and the
+# hypothesis property suites.  Failure manifests are published to
+# $REPRO_TEST_ARTIFACTS (CI uploads them on a red run).
+test-faults:
+	$(PYTHON) -m pytest tests/faults tests/learn/test_properties.py \
+	    tests/pipeline/test_faults.py tests/pipeline/test_runner_hardening.py \
+	    tests/pipeline/test_monitoring_faults.py tests/pipeline/test_golden_faults.py \
+	    -p no:cacheprovider -q -W "error:::repro"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -45,7 +45,13 @@ Exit codes (stable; scripts may rely on them):
 * ``3`` — ``monitor`` or ``attack`` **raised an alarm** (the
   configured number of consecutive intervals scored below θ_p).
   An attack run that detects its attack therefore exits 3 — pipelines
-  asserting detection should expect it.
+  asserting detection should expect it;
+* ``4`` — ``experiments`` completed degraded: one or more grid jobs
+  exhausted their retries (``--max-retries``) or timed out
+  (``--job-timeout``).  Completed results are still printed and the
+  failure manifest is written to ``--failures-out`` if given.  With
+  ``--fail-fast`` the first terminal job failure aborts the grid with
+  this same exit code.
 """
 
 from __future__ import annotations
@@ -57,11 +63,12 @@ import sys
 import numpy as np
 
 from . import obs
+from .faults import FaultPlan
 from .learn.detector import MhmDetector
 from .pipeline.cache import ArtifactCache
 from .pipeline.experiments import PAPER_SCALE, QUICK_SCALE
 from .pipeline.monitoring import OnlineMonitor
-from .pipeline.runner import ExperimentRunner, build_grid_jobs
+from .pipeline.runner import ExperimentRunner, JobFailedError, build_grid_jobs
 from .pipeline.scenario import ScenarioRunner
 from .pipeline.stages import SCENARIOS as _SCENARIOS
 from .pipeline.training import collect_training_data, train_detector
@@ -69,12 +76,24 @@ from .sim.platform import Platform, PlatformConfig
 from .viz.ascii import render_heatmap, render_series
 from .viz.tables import format_metrics, format_table
 
-__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_ALARM"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "EXIT_ALARM",
+    "EXIT_JOB_FAILURES",
+]
 
 #: Clean completion (monitor/attack: no alarm raised).
 EXIT_OK = 0
+#: Invalid invocation (argparse errors use the same code).
+EXIT_USAGE = 2
 #: monitor/attack raised an alarm.
 EXIT_ALARM = 3
+#: experiments: one or more grid jobs failed terminally (grid itself
+#: completed; surviving results were produced).
+EXIT_JOB_FAILURES = 4
 
 LN10 = float(np.log(10.0))
 
@@ -187,6 +206,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk cache"
+    )
+    experiments.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-attempts per failed job before it lands in the failure "
+        "manifest (default 2)",
+    )
+    experiments.add_argument(
+        "--job-timeout", type=float, metavar="SECONDS",
+        help="per-attempt wall-clock budget; overrunning attempts are "
+        "abandoned and retried",
+    )
+    experiments.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the grid on the first terminal job failure instead of "
+        "degrading to the failure manifest",
+    )
+    experiments.add_argument(
+        "--failures-out", metavar="PATH",
+        help="write the structured failure manifest (failures.json) here",
+    )
+    experiments.add_argument(
+        "--fault-plan", metavar="PATH",
+        help="JSON fault-injection plan for resilience drills "
+        "(see docs/faults.md for the schema)",
     )
     experiments.add_argument("--train-runs", type=int, help="override training boots")
     experiments.add_argument(
@@ -445,6 +488,8 @@ def _report_json(args, report, densities, detector) -> dict:
             "intervals": report.intervals,
             "flagged": report.flagged,
             "flag_rate": report.flag_rate,
+            "skipped": report.skipped,
+            "skipped_intervals": report.skipped_intervals,
             "alarms": [vars(a) for a in report.alarms],
             "analysis_time_us": report.analysis_time_us,
             "interval_us": report.interval_us,
@@ -471,6 +516,17 @@ def _cmd_experiments(args) -> int:
     if args.validation is not None:
         train_overrides["validation_intervals"] = args.validation
 
+    fault_plan = None
+    if args.fault_plan:
+        with open(args.fault_plan) as fh:
+            plan_dict = json.load(fh)
+        try:
+            fault_plan = FaultPlan.from_dict(plan_dict)
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"error: invalid fault plan {args.fault_plan}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
     jobs = build_grid_jobs(
         scenarios,
         scale,
@@ -480,9 +536,24 @@ def _cmd_experiments(args) -> int:
         train_overrides=train_overrides or None,
     )
     runner = ExperimentRunner(
-        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+        fail_fast=args.fail_fast,
+        fault_plan=fault_plan,
     )
-    results = runner.run(jobs)
+    try:
+        results = runner.run(jobs)
+    except JobFailedError as exc:
+        if args.failures_out:
+            runner.write_failure_manifest(args.failures_out)
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_JOB_FAILURES
+    failures = runner.job_failures
+    if args.failures_out and failures:
+        runner.write_failure_manifest(args.failures_out)
     hits = sum(sum(r.cache_hits.values()) for r in results)
     misses = sum(sum(r.cache_misses.values()) for r in results)
 
@@ -495,6 +566,8 @@ def _cmd_experiments(args) -> int:
             "cache": not args.no_cache,
             "cache_hits": hits,
             "cache_misses": misses,
+            "retries": runner.retries,
+            "failures": runner.failure_manifest()["failures"],
             "results": [
                 {
                     **r.summary,
@@ -534,11 +607,20 @@ def _cmd_experiments(args) -> int:
                     "time",
                 ],
                 rows,
-                title=f"experiment grid ({len(results)} jobs, "
+                title=f"experiment grid ({len(results)} of {len(jobs)} jobs, "
                 f"--jobs {args.jobs}, scale {args.scale})",
             )
         )
-        print(f"cache: {hits} hit(s), {misses} miss(es)")
+        print(
+            f"cache: {hits} hit(s), {misses} miss(es); "
+            f"retries: {runner.retries}"
+        )
+        for failure in failures:
+            print(
+                f"FAILED {failure.job_name}: {failure.error_type}: "
+                f"{failure.message} (after {failure.attempts} attempt(s))",
+                file=sys.stderr,
+            )
     _obs_finish(
         args,
         "experiments",
@@ -549,8 +631,10 @@ def _cmd_experiments(args) -> int:
         workers=args.jobs,
         cache_hits=hits,
         cache_misses=misses,
+        retries=runner.retries,
+        job_failures=len(failures),
     )
-    return EXIT_OK
+    return EXIT_JOB_FAILURES if failures else EXIT_OK
 
 
 def _cmd_cache(args) -> int:

@@ -66,12 +66,20 @@ class AnalysisTimingModel:
 
 @dataclass
 class OnlineResult:
-    """One interval's online-analysis outcome."""
+    """One interval's online-analysis outcome.
+
+    ``skipped`` marks an interval whose MHM could not be scored (a
+    corrupted or missing buffer): the verdict is recorded as SKIPPED —
+    ``log_density`` is NaN, ``is_anomalous`` is False — and the stream
+    continues, mirroring the double-buffered Memometer semantics where
+    a lost interval never stalls the monitor.
+    """
 
     interval_index: int
     log_density: float
     is_anomalous: bool
     analysis_time_us: float
+    skipped: bool = False
 
 
 class SecureCore:
@@ -83,8 +91,10 @@ class SecureCore:
         Monitored-region spec (must match the Memometer's).
     scorer:
         Optional online scorer: a callable ``(MemoryHeatMap) ->
-        (log_density, is_anomalous)``.  Attach one with
-        :meth:`attach_detector` once a detector has been trained.
+        (log_density, is_anomalous)``, or returning ``None`` to record
+        a SKIPPED verdict (unscorable interval) without breaking the
+        stream.  Attach one with :meth:`attach_detector` once a
+        detector has been trained.
     timing:
         The analysis-time cost model.
     """
@@ -107,6 +117,7 @@ class SecureCore:
         registry = obs.metrics()
         self._metric_received = registry.counter("securecore.mhms_received")
         self._metric_scored = registry.counter("securecore.mhms_scored")
+        self._metric_skipped = registry.counter("securecore.verdicts_skipped")
         self._metric_anomalous = registry.counter("securecore.anomalous_verdicts")
         self._metric_model_us = registry.histogram("securecore.analysis_model_us")
         self._tracer = obs.tracer()
@@ -137,11 +148,24 @@ class SecureCore:
         self.heatmaps.append(heat_map)
         self._metric_received.inc()
         if self._scorer is not None:
-            log_density, anomalous = self._scorer(heat_map)
+            verdict = self._scorer(heat_map)
             num_components, num_gaussians = self._scorer_dims
             analysis_us = self.timing.analysis_time_us(
                 self.spec.num_cells, num_components, num_gaussians
             )
+            if verdict is None:
+                self.online_results.append(
+                    OnlineResult(
+                        interval_index=heat_map.interval_index,
+                        log_density=float("nan"),
+                        is_anomalous=False,
+                        analysis_time_us=analysis_us,
+                        skipped=True,
+                    )
+                )
+                self._metric_skipped.inc()
+                return
+            log_density, anomalous = verdict
             self.online_results.append(
                 OnlineResult(
                     interval_index=heat_map.interval_index,

@@ -19,6 +19,8 @@ from .monitoring import Alarm, MonitoringReport, OnlineMonitor
 from .runner import (
     ExperimentJob,
     ExperimentRunner,
+    JobFailedError,
+    JobFailure,
     JobResult,
     TrainSpec,
     build_grid_jobs,
@@ -33,6 +35,8 @@ __all__ = [
     "default_cache_root",
     "ExperimentJob",
     "ExperimentRunner",
+    "JobFailedError",
+    "JobFailure",
     "JobResult",
     "TrainSpec",
     "build_grid_jobs",

@@ -44,7 +44,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 
 __all__ = ["ArtifactCache", "CACHE_NAMESPACE", "CACHE_SCHEMA_VERSION", "default_cache_root"]
 
@@ -135,13 +135,23 @@ class ArtifactCache:
         A corrupt entry (truncation, bit flips, foreign file) is
         unlinked and reported as a miss — callers always fall back to
         recomputation, never crash.
+
+        Injection site ``cache.read`` (token: the entry key) fires
+        *before* the file is touched, so a plan's decision for a key is
+        independent of whether the entry exists yet — required for
+        serial ≡ parallel fault determinism.  ``corrupt``/``truncate``
+        faults damage the in-memory blob and exercise this exact
+        degradation path.
         """
+        fault = faults.check("cache.read", token=key)
         path = self.entry_path(stage, key)
         try:
             blob = path.read_bytes()
         except OSError:
             self._record(stage, hit=False)
             return None
+        if fault is not None:
+            blob = faults.mangle(fault, blob, "cache.read", key)
         try:
             arrays = self._decode(blob)
         except Exception:
@@ -155,13 +165,22 @@ class ArtifactCache:
         return arrays
 
     def put(self, stage: str, key: str, arrays: Dict[str, np.ndarray]) -> Path:
-        """Atomically publish an entry (tmp file + ``os.replace``)."""
+        """Atomically publish an entry (tmp file + ``os.replace``).
+
+        Injection site ``cache.write`` (token: the entry key):
+        ``corrupt``/``truncate`` faults damage the blob *as stored* —
+        the entry checksum then fails on the next read, which must
+        degrade to a recompute, never a crash or a torn result.
+        """
+        fault = faults.check("cache.write", token=key)
         path = self.entry_path(stage, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         buffer = io.BytesIO()
         np.savez_compressed(buffer, **arrays)
         payload = buffer.getvalue()
         blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        if fault is not None:
+            blob = faults.mangle(fault, blob, "cache.write", key)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
         )

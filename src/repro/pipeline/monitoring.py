@@ -12,7 +12,12 @@ verdicts:
   detection latency for false-alarm robustness);
 * a **real-time budget check** — the modelled secure-core analysis
   time must fit inside the monitoring interval (Section 5.4's point:
-  358 µs ≪ 10 ms).
+  358 µs ≪ 10 ms);
+* **graceful degradation** — an interval whose MHM cannot be scored
+  (corrupted buffer, non-finite density, an injected
+  ``monitor.verdict`` fault) is logged as a SKIPPED verdict and the
+  stream continues, mirroring the paper's double-buffered Memometer:
+  losing one interval's buffer must never kill the monitor.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 from ..learn.detector import MhmDetector
 from ..sim.platform import Platform
 
@@ -41,7 +46,11 @@ class Alarm:
 
 @dataclass
 class MonitoringReport:
-    """Outcome of one online-monitoring window."""
+    """Outcome of one online-monitoring window.
+
+    ``skipped`` counts intervals degraded to SKIPPED verdicts; their
+    entries in ``log_densities`` are NaN.
+    """
 
     intervals: int
     flagged: int
@@ -49,10 +58,17 @@ class MonitoringReport:
     log_densities: np.ndarray = field(default_factory=lambda: np.empty(0))
     analysis_time_us: float = 0.0
     interval_us: float = 0.0
+    skipped: int = 0
+    skipped_intervals: list[int] = field(default_factory=list)
+
+    @property
+    def scored(self) -> int:
+        """Intervals that produced a real verdict (not SKIPPED)."""
+        return self.intervals - self.skipped
 
     @property
     def flag_rate(self) -> float:
-        return self.flagged / self.intervals if self.intervals else 0.0
+        return self.flagged / self.scored if self.scored else 0.0
 
     @property
     def analysis_budget_fraction(self) -> float:
@@ -83,6 +99,7 @@ class OnlineMonitor:
         self.consecutive_for_alarm = consecutive_for_alarm
         self._streak = 0
         self.alarms: list[Alarm] = []
+        self.skipped_intervals: list[int] = []
         self._attached = False
         registry = obs.metrics()
         interval_us = platform.config.interval_ns / 1_000.0
@@ -98,6 +115,7 @@ class OnlineMonitor:
         registry.gauge("monitor.interval_budget_us").set(interval_us)
         self._metric_scored = registry.counter("monitor.intervals_scored")
         self._metric_flagged = registry.counter("monitor.intervals_flagged")
+        self._metric_skipped = registry.counter("monitor.intervals_skipped")
         self._metric_alarms = registry.counter("monitor.alarms")
         self._metric_overruns = registry.counter("monitor.budget_overruns")
         self._interval_us = interval_us
@@ -111,8 +129,37 @@ class OnlineMonitor:
         theta = self.detector.threshold(self.p_percent)
 
         def scorer(heat_map):
-            with obs.Timer() as timer:
-                log_density = self.detector.log_density(heat_map)
+            # Degradation contract: whatever happens to one interval's
+            # MHM — an injected ``monitor.verdict`` fault, a scoring
+            # crash, a non-finite density from corrupted counts — the
+            # verdict degrades to SKIPPED and the stream continues.
+            try:
+                fault = faults.check(
+                    "monitor.verdict", token=heat_map.interval_index
+                )
+                if fault is not None and fault.mode in ("corrupt", "truncate"):
+                    raise faults.FaultError(
+                        "monitor.verdict", "corrupted MHM interval buffer"
+                    )
+                with obs.Timer() as timer:
+                    log_density = self.detector.log_density(heat_map)
+                if not np.isfinite(log_density):
+                    raise faults.FaultError(
+                        "monitor.verdict", "non-finite interval density"
+                    )
+            except Exception as exc:
+                self.skipped_intervals.append(heat_map.interval_index)
+                self._metric_skipped.inc()
+                self._tracer.instant(
+                    "monitor.skipped",
+                    self.platform.now,
+                    category="monitor",
+                    args={
+                        "interval_index": heat_map.interval_index,
+                        "reason": str(exc),
+                    },
+                )
+                return None
             elapsed_us = timer.elapsed_us
             self._metric_analysis_us.observe(elapsed_us)
             self._metric_scored.inc()
@@ -177,4 +224,6 @@ class OnlineMonitor:
             log_densities=np.array([r.log_density for r in results]),
             analysis_time_us=analysis_us,
             interval_us=self.platform.config.interval_ns / 1_000.0,
+            skipped=sum(1 for r in results if r.skipped),
+            skipped_intervals=[r.interval_index for r in results if r.skipped],
         )

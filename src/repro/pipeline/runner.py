@@ -28,25 +28,48 @@ order, or cache temperature:
 
 ``tests/pipeline/test_runner_determinism.py`` asserts all of this.
 
+Fault tolerance
+---------------
+The grid must not die with its weakest job.  Each job gets bounded
+retries with seeded exponential backoff, an optional per-attempt
+wall-clock timeout, and crashed workers are replaced (a hard worker
+death breaks a :class:`~concurrent.futures.ProcessPoolExecutor`; the
+runner builds a fresh pool and re-queues the interrupted attempts).  A
+run returns every *completed* :class:`JobResult` plus a structured
+failure manifest (:meth:`ExperimentRunner.failure_manifest`,
+``failures.json`` via :meth:`ExperimentRunner.write_failure_manifest`)
+instead of raising; ``fail_fast=True`` restores raise-on-first-failure
+semantics.  Fault drills are driven by :mod:`repro.faults` plans
+(``fault_plan=``), which travel to worker processes and make the whole
+failure story deterministic — see ``docs/faults.md``.
+
 Observability
 -------------
 With :mod:`repro.obs` enabled, a run records ``runner.jobs.launched``
-/ ``completed`` / ``failed`` counters, aggregate ``runner.cache.hit``
-/ ``miss`` counters, per-stage wall-clock histograms
-(``runner.stage.<stage>``), and one trace event per completed job.
+/ ``completed`` / ``failed`` counters, ``runner.retries`` /
+``runner.job_failures`` fault-handling counters, aggregate
+``runner.cache.hit`` / ``miss`` counters, per-stage wall-clock
+histograms (``runner.stage.<stage>``), one trace event per completed
+job and one per retry / terminal failure.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import json
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
+from ..faults import FaultPlan, uniform_hash
 from ..learn.detector import MhmDetector
 from ..learn.metrics import detection_latency, roc_auc_from_scores
 from ..sim.platform import Platform, PlatformConfig
@@ -68,6 +91,8 @@ __all__ = [
     "TrainSpec",
     "ExperimentJob",
     "JobResult",
+    "JobFailure",
+    "JobFailedError",
     "ExperimentRunner",
     "expand_grid",
     "build_grid_jobs",
@@ -177,6 +202,39 @@ class JobResult:
         return digest.hexdigest()
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """Terminal failure of one grid job — a ``failures.json`` entry.
+
+    Deliberately contains no wall-clock fields: a failure manifest is
+    part of the runner's determinism contract (serial and parallel runs
+    of the same seeded fault plan produce identical manifests).
+    """
+
+    job_index: int
+    job_name: str
+    scenario: str
+    attempts: int
+    error_type: str
+    message: str
+    site: Optional[str] = None
+    traceback: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class JobFailedError(RuntimeError):
+    """Raised in ``fail_fast`` mode when a job exhausts its retries."""
+
+    def __init__(self, failure: JobFailure):
+        super().__init__(
+            f"job {failure.job_name!r} failed after {failure.attempts} "
+            f"attempt(s): {failure.error_type}: {failure.message}"
+        )
+        self.failure = failure
+
+
 # ----------------------------------------------------------------------
 # Grid expansion and seed derivation
 # ----------------------------------------------------------------------
@@ -282,12 +340,20 @@ def run_job(
     job: ExperimentJob,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    attempt: int = 0,
 ) -> JobResult:
     """Execute one job: train (or load), simulate (or load), score.
 
     Safe to call from worker processes — it touches no global state
     beyond the on-disk cache, whose writes are atomic.
+
+    ``attempt`` is the retry ordinal; it feeds the fault-injection
+    token ``"<job name>@<attempt>"`` (sites ``runner.job``,
+    ``stages.fit``, ``stages.replay``), so a probabilistic fault that
+    kills attempt 0 rolls a fresh, independent decision for attempt 1.
     """
+    fault_token = f"{job.name}@{attempt}"
+    faults.check("runner.job", token=fault_token)
     cache = ArtifactCache(cache_dir) if use_cache else None
     stage_seconds: Dict[str, float] = {}
     computed: list = []
@@ -331,6 +397,7 @@ def run_job(
             detector_material(train_mat, job.detector_kwargs),
             job.detector_kwargs,
             cache=cache,
+            fault_token=fault_token,
         )
     stage_seconds[DETECTOR_STAGE] = time.perf_counter() - started
     record(DETECTOR_STAGE, detector_hit)
@@ -349,6 +416,7 @@ def run_job(
             scenario_seed=job.scenario_seed,
             inject_offset_fraction=job.inject_offset_fraction,
             cache=cache,
+            fault_token=fault_token,
         )
     stage_seconds[SCENARIO_STAGE] = time.perf_counter() - started
     record(SCENARIO_STAGE, scenario_hit)
@@ -404,6 +472,57 @@ def run_job(
 
 
 # ----------------------------------------------------------------------
+# Guarded execution (shared by the serial path and worker processes)
+# ----------------------------------------------------------------------
+def _execute_job(
+    job: ExperimentJob,
+    cache_dir: Optional[str],
+    use_cache: bool,
+    attempt: int,
+    fault_plan: Optional[FaultPlan],
+) -> tuple:
+    """Run one attempt, never letting an exception cross the boundary.
+
+    Returns ``("ok", JobResult)`` or ``("err", payload)`` where
+    ``payload`` is a plain dict with the fields of a manifest entry.
+    Catching — and formatting the traceback — *at the raise site* keeps
+    error payloads byte-identical between in-process execution and
+    worker processes, which is what makes serial and parallel failure
+    manifests comparable.
+    """
+    try:
+        with faults.injected(fault_plan):
+            return "ok", run_job(job, cache_dir, use_cache, attempt=attempt)
+    except Exception as exc:
+        return "err", {
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "site": getattr(exc, "site", None),
+            "traceback": "".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        }
+
+
+def _timeout_payload(timeout: float) -> dict:
+    return {
+        "error_type": "JobTimeout",
+        "message": f"job exceeded the per-job wall-clock timeout ({timeout:g}s)",
+        "site": None,
+        "traceback": "",
+    }
+
+
+def _crash_payload() -> dict:
+    return {
+        "error_type": "WorkerCrash",
+        "message": "worker process died mid-job; pool replaced",
+        "site": None,
+        "traceback": "",
+    }
+
+
+# ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
 class ExperimentRunner:
@@ -420,9 +539,35 @@ class ExperimentRunner:
         ``$REPRO_CACHE_DIR``).
     use_cache:
         ``False`` disables the on-disk cache entirely.
+    max_retries:
+        Re-attempts per job after its first failure (so a job runs at
+        most ``max_retries + 1`` times).
+    job_timeout:
+        Per-attempt wall-clock budget in seconds.  In worker processes
+        the attempt is abandoned at the deadline (the stuck worker is
+        retired with its pool); in-process (``jobs=1``) the budget is
+        enforced after the attempt returns — a degenerate but
+        deterministic equivalent, since the attempt cannot be
+        preempted.
+    fail_fast:
+        Raise :class:`JobFailedError` on the first terminal failure
+        instead of degrading to the failure manifest.
+    backoff_base / backoff_cap:
+        Retry backoff: attempt *k* waits
+        ``min(base · 2^k · (0.5 + jitter), cap)`` seconds, with jitter
+        drawn purely from ``(retry_seed, job name, k)`` — reruns wait
+        identically.
+    retry_seed:
+        Seed of the backoff jitter stream.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` installed around every
+        attempt (including inside worker processes) for fault drills.
 
-    Results are always returned in job order, whatever the completion
-    order.
+    A run **returns completed results only** (in job order); terminal
+    failures are collected on :attr:`job_failures` and in
+    :meth:`failure_manifest` rather than raised.  A grid is therefore
+    never aborted by its weakest job unless ``fail_fast`` asks for
+    exactly that.
     """
 
     def __init__(
@@ -430,39 +575,58 @@ class ExperimentRunner:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
+        max_retries: int = 2,
+        job_timeout: Optional[float] = None,
+        fail_fast: bool = False,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0")
         self.jobs = jobs
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.use_cache = use_cache
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
+        self.fail_fast = fail_fast
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retry_seed = retry_seed
+        self.fault_plan = fault_plan
+        #: Terminal failures of the last :meth:`run` (job order).
+        self.job_failures: List[JobFailure] = []
+        #: Retries performed during the last :meth:`run`.
+        self.retries: int = 0
+        self._total_jobs: int = 0
 
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
     def run(self, experiment_jobs: Sequence[ExperimentJob]) -> list:
         experiment_jobs = list(experiment_jobs)
         registry = obs.metrics()
         tracer = obs.tracer()
         start_ns = time.perf_counter_ns()
         registry.counter("runner.jobs.launched").inc(len(experiment_jobs))
+        self.job_failures = []
+        self.retries = 0
+        self._total_jobs = len(experiment_jobs)
 
-        results: list = [None] * len(experiment_jobs)
+        completed: Dict[int, JobResult] = {}
         with registry.span("runner.run"):
             if self.jobs == 1 or len(experiment_jobs) <= 1:
-                for index, job in enumerate(experiment_jobs):
-                    results[index] = self._guarded(run_job, job, registry)
+                self._run_serial(experiment_jobs, completed, registry, tracer)
             else:
-                workers = min(self.jobs, len(experiment_jobs))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(run_job, job, self.cache_dir, self.use_cache)
-                        for job in experiment_jobs
-                    ]
-                    for index, future in enumerate(futures):
-                        results[index] = self._guarded(
-                            lambda *_: future.result(),
-                            experiment_jobs[index],
-                            registry,
-                        )
+                self._run_parallel(experiment_jobs, completed, registry, tracer)
 
+        self.job_failures.sort(key=lambda failure: failure.job_index)
+        results = [completed[index] for index in sorted(completed)]
         for result in results:
             registry.counter("runner.jobs.completed").inc()
             registry.counter("runner.cache.hit").inc(sum(result.cache_hits.values()))
@@ -483,9 +647,242 @@ class ExperimentRunner:
             )
         return results
 
-    def _guarded(self, call, job: ExperimentJob, registry) -> JobResult:
+    def failure_manifest(self) -> dict:
+        """Structured summary of the last run's failures.
+
+        Deterministic for a given grid + fault plan: no wall-clock
+        fields, failures in job order.
+        """
+        return {
+            "schema": 1,
+            "total_jobs": self._total_jobs,
+            "completed": self._total_jobs - len(self.job_failures),
+            "failed": len(self.job_failures),
+            "retries": self.retries,
+            "max_retries": self.max_retries,
+            "job_timeout": self.job_timeout,
+            "failures": [failure.to_dict() for failure in self.job_failures],
+        }
+
+    def write_failure_manifest(self, path) -> Path:
+        """Write :meth:`failure_manifest` as JSON (``failures.json``)."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.failure_manifest(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    # Serial execution
+    # ------------------------------------------------------------------
+    def _run_serial(self, jobs_list, completed, registry, tracer) -> None:
+        for index, job in enumerate(jobs_list):
+            attempt = 0
+            while True:
+                started = time.monotonic()
+                status, payload = _execute_job(
+                    job, self.cache_dir, self.use_cache, attempt, self.fault_plan
+                )
+                elapsed = time.monotonic() - started
+                if status == "ok" and (
+                    self.job_timeout is None or elapsed <= self.job_timeout
+                ):
+                    completed[index] = payload
+                    break
+                if status == "ok":
+                    payload = _timeout_payload(self.job_timeout)
+                if attempt >= self.max_retries:
+                    self._record_failure(
+                        registry, tracer, index, job, attempt + 1, payload
+                    )
+                    break
+                self._record_retry(registry, tracer, job, attempt, payload)
+                time.sleep(self._backoff_seconds(job.name, attempt))
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    def _run_parallel(self, jobs_list, completed, registry, tracer) -> None:
+        workers = min(self.jobs, len(jobs_list))
+        # Min-heap of (ready_time, job_index, attempt): jobs waiting to
+        # be (re)submitted; retries carry a backoff-delayed ready time.
+        ready: list = [(0.0, index, 0) for index in range(len(jobs_list))]
+        heapq.heapify(ready)
+        inflight: Dict = {}  # future -> (job_index, attempt, deadline)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        retired = []  # replaced pools, shut down without waiting
         try:
-            return call(job, self.cache_dir, self.use_cache)
-        except Exception:
-            registry.counter("runner.jobs.failed").inc()
-            raise
+            while ready or inflight:
+                now = time.monotonic()
+                # Submit whatever is due.  At most ``workers`` attempts
+                # are in flight, so submission time ≈ start time and a
+                # deadline measures actual execution, not queueing.
+                while ready and ready[0][0] <= now and len(inflight) < workers:
+                    _, index, attempt = heapq.heappop(ready)
+                    future = pool.submit(
+                        _execute_job,
+                        jobs_list[index],
+                        self.cache_dir,
+                        self.use_cache,
+                        attempt,
+                        self.fault_plan,
+                    )
+                    deadline = (
+                        None if self.job_timeout is None else now + self.job_timeout
+                    )
+                    inflight[future] = (index, attempt, deadline)
+                if not inflight:
+                    # Everything is waiting out a retry backoff.
+                    time.sleep(max(0.0, ready[0][0] - now))
+                    continue
+
+                done, _ = _futures_wait(
+                    set(inflight),
+                    timeout=self._wait_budget(inflight, ready, now),
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broken = False
+                for future in done:
+                    index, attempt, _ = inflight.pop(future)
+                    try:
+                        status, payload = future.result()
+                    except BrokenExecutor:
+                        # A worker died hard (SIGKILL, os._exit, ...):
+                        # the pool is unusable and every in-flight
+                        # future fails with it.  Charge an attempt and
+                        # let the retry machinery re-run on the
+                        # replacement pool.
+                        pool_broken = True
+                        status, payload = "err", _crash_payload()
+                    except Exception as exc:  # e.g. result unpickling
+                        status, payload = "err", {
+                            "error_type": type(exc).__name__,
+                            "message": str(exc),
+                            "site": getattr(exc, "site", None),
+                            "traceback": "",
+                        }
+                    self._settle(
+                        jobs_list, index, attempt, status, payload,
+                        completed, ready, registry, tracer,
+                    )
+
+                # Enforce deadlines on attempts still running.  A stuck
+                # worker cannot be interrupted, so its attempt is
+                # abandoned and its pool retired below.
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, (_, _, deadline) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                for future in overdue:
+                    index, attempt, _ = inflight.pop(future)
+                    future.cancel()
+                    self._settle(
+                        jobs_list, index, attempt, "err",
+                        _timeout_payload(self.job_timeout),
+                        completed, ready, registry, tracer,
+                    )
+
+                if pool_broken or overdue:
+                    # Replace the pool.  Healthy in-flight futures keep
+                    # their old workers (shutdown(wait=False) lets
+                    # running attempts finish); new submissions go to
+                    # the fresh pool, so stuck/dead workers never
+                    # starve the grid.
+                    registry.counter("runner.pool_replacements").inc()
+                    retired.append(pool)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+            for old in retired:
+                old.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _wait_budget(inflight, ready, now) -> Optional[float]:
+        """How long the event loop may block: until the next deadline
+        or the next backoff expiry, whichever comes first."""
+        horizon = None
+        deadlines = [d for (_, _, d) in inflight.values() if d is not None]
+        if deadlines:
+            horizon = min(deadlines)
+        if ready:
+            horizon = ready[0][0] if horizon is None else min(horizon, ready[0][0])
+        if horizon is None:
+            return None
+        return max(horizon - now, 0.005)
+
+    # ------------------------------------------------------------------
+    # Attempt bookkeeping
+    # ------------------------------------------------------------------
+    def _settle(
+        self, jobs_list, index, attempt, status, payload,
+        completed, ready, registry, tracer,
+    ) -> None:
+        if status == "ok":
+            completed[index] = payload
+            return
+        job = jobs_list[index]
+        if attempt >= self.max_retries:
+            self._record_failure(registry, tracer, index, job, attempt + 1, payload)
+            return
+        self._record_retry(registry, tracer, job, attempt, payload)
+        heapq.heappush(
+            ready,
+            (
+                time.monotonic() + self._backoff_seconds(job.name, attempt),
+                index,
+                attempt + 1,
+            ),
+        )
+
+    def _backoff_seconds(self, job_name: str, attempt: int) -> float:
+        jitter = uniform_hash(self.retry_seed, "runner.backoff", f"{job_name}@{attempt}")
+        return min(self.backoff_base * (2**attempt) * (0.5 + jitter), self.backoff_cap)
+
+    def _record_retry(self, registry, tracer, job, attempt, payload) -> None:
+        self.retries += 1
+        registry.counter("runner.retries").inc()
+        tracer.instant(
+            "runner.retry",
+            time.perf_counter_ns(),
+            category="runner",
+            args={
+                "job": job.name,
+                "attempt": attempt,
+                "error_type": payload["error_type"],
+                "site": payload.get("site"),
+            },
+        )
+
+    def _record_failure(
+        self, registry, tracer, index, job, attempts, payload
+    ) -> None:
+        failure = JobFailure(
+            job_index=index,
+            job_name=job.name,
+            scenario=job.scenario,
+            attempts=attempts,
+            error_type=payload["error_type"],
+            message=payload["message"],
+            site=payload.get("site"),
+            traceback=payload.get("traceback", ""),
+        )
+        self.job_failures.append(failure)
+        registry.counter("runner.job_failures").inc()
+        registry.counter("runner.jobs.failed").inc()
+        tracer.instant(
+            "runner.job_failed",
+            time.perf_counter_ns(),
+            category="runner",
+            args={
+                "job": job.name,
+                "attempts": attempts,
+                "error_type": failure.error_type,
+                "site": failure.site,
+            },
+        )
+        if self.fail_fast:
+            raise JobFailedError(failure)

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..attacks import AppLaunchAttack, ShellcodeAttack, SyscallHijackRootkit
 from ..core.mhm import MemoryHeatMap
 from ..core.series import HeatMapSeries
@@ -206,6 +207,7 @@ def train_detector_cached(
     material: dict,
     detector_kwargs: Mapping,
     cache: Optional[ArtifactCache] = None,
+    fault_token: str = "-",
 ) -> Tuple[MhmDetector, bool]:
     """Train (or load) a detector.
 
@@ -213,12 +215,19 @@ def train_detector_cached(
     hit skips the training-data stage entirely.  ``material`` must
     identify the training data (use :func:`detector_material` over the
     output of :func:`training_material`).
+
+    Injection site ``stages.fit`` guards the training compute;
+    ``fault_token`` should identify the invocation (the runner passes
+    ``job-name@attempt`` so retried attempts roll fresh fault
+    decisions).
     """
     kwargs = dict(detector_kwargs)
     if cache is None:
+        faults.check("stages.fit", token=fault_token)
         return train_detector(data_provider(), **kwargs), False
 
     def compute() -> Dict[str, np.ndarray]:
+        faults.check("stages.fit", token=fault_token)
         return train_detector(data_provider(), **kwargs).to_arrays()
 
     arrays, hit = cache.fetch(DETECTOR_STAGE, material, compute)
@@ -235,11 +244,18 @@ def run_scenario_cached(
     scenario_seed: int = 999,
     inject_offset_fraction: float = 0.3,
     cache: Optional[ArtifactCache] = None,
+    fault_token: str = "-",
 ) -> Tuple[ScenarioResult, bool]:
-    """Simulate (or load) one attack scenario on a fresh platform."""
+    """Simulate (or load) one attack scenario on a fresh platform.
+
+    Injection site ``stages.replay`` guards the simulation compute
+    (see :func:`train_detector_cached` for the ``fault_token``
+    convention).
+    """
     attack_params = dict(attack_params or {})
 
     def simulate() -> ScenarioResult:
+        faults.check("stages.replay", token=fault_token)
         platform = Platform(config.with_seed(scenario_seed))
         return ScenarioRunner(platform).run(
             make_attack(scenario, attack_params),

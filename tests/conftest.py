@@ -10,8 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings as _hypothesis_settings
 
 from repro.core.spec import HeatMapSpec
+
+# Shared CI runners miss per-example deadlines on cold numpy/BLAS
+# paths; selected via HYPOTHESIS_PROFILE=ci in the workflow.
+_hypothesis_settings.register_profile("ci", deadline=None)
 from repro.pipeline.experiments import QUICK_SCALE, get_reference_artifacts
 from repro.sim.kernel.layout import KernelLayout
 from repro.sim.platform import Platform, PlatformConfig

@@ -1,0 +1,147 @@
+"""Graceful degradation of the online monitor under interval faults.
+
+The paper's Memometer is double-buffered precisely so that losing one
+interval's buffer never stalls monitoring.  This file pins the
+software analogue: an interval whose MHM cannot be scored — an
+injected ``monitor.verdict`` fault, a corrupted buffer, a non-finite
+density — degrades to a logged SKIPPED verdict, and the stream, alarm
+policy, and every *other* interval's verdict are untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.faults import FaultPlan, FaultSpec
+from repro.pipeline.monitoring import OnlineMonitor
+from repro.sim.platform import Platform
+
+WINDOW = 30
+
+
+@pytest.fixture()
+def make_monitor(quick_artifacts):
+    def build() -> OnlineMonitor:
+        platform = Platform(quick_artifacts.config.with_seed(4242))
+        return OnlineMonitor(platform, quick_artifacts.detector, p_percent=1.0)
+
+    return build
+
+
+class TestSkippedVerdicts:
+    def test_faulted_intervals_degrade_to_skipped(self, make_monitor):
+        plan = FaultPlan(
+            sites={"monitor.verdict": FaultSpec(mode="corrupt", probability=0.3)},
+            seed=3,
+        )
+        monitor = make_monitor()
+        with faults.injected(plan):
+            report = monitor.monitor(WINDOW)
+        assert report.intervals == WINDOW
+        assert 0 < report.skipped < WINDOW
+        assert report.skipped == len(report.skipped_intervals)
+        assert report.scored == WINDOW - report.skipped
+        # SKIPPED verdicts carry NaN densities and never flag.
+        assert np.isnan(report.log_densities).sum() == report.skipped
+        secure_core = monitor.platform.secure_core
+        for result in secure_core.online_results:
+            if result.skipped:
+                assert np.isnan(result.log_density)
+                assert not result.is_anomalous
+
+    def test_non_skipped_verdicts_are_bit_identical_to_clean_run(
+        self, make_monitor
+    ):
+        clean = make_monitor().monitor(WINDOW)
+        plan = FaultPlan(
+            sites={"monitor.verdict": FaultSpec(mode="corrupt", probability=0.3)},
+            seed=3,
+        )
+        monitor = make_monitor()
+        with faults.injected(plan):
+            degraded = monitor.monitor(WINDOW)
+        assert degraded.skipped > 0
+        scored = ~np.isnan(degraded.log_densities)
+        np.testing.assert_array_equal(
+            degraded.log_densities[scored], clean.log_densities[scored]
+        )
+
+    def test_skip_decisions_are_seed_deterministic(self, make_monitor):
+        plan_dict = {
+            "seed": 3,
+            "sites": {"monitor.verdict": {"mode": "corrupt", "probability": 0.3}},
+        }
+        skipped = []
+        for _ in range(2):
+            monitor = make_monitor()
+            with faults.injected(FaultPlan.from_dict(plan_dict)):
+                skipped.append(monitor.monitor(WINDOW).skipped_intervals)
+        assert skipped[0] == skipped[1]
+
+    def test_raise_mode_also_degrades_not_propagates(self, make_monitor):
+        """Even a fault whose contract elsewhere is 'raise' must not
+        escape the verdict loop: the monitor catches and skips."""
+        plan = FaultPlan(
+            sites={"monitor.verdict": FaultSpec(mode="raise", probability=0.2)},
+            seed=1,
+        )
+        monitor = make_monitor()
+        with faults.injected(plan):
+            report = monitor.monitor(WINDOW)  # must not raise
+        assert report.intervals == WINDOW
+        assert report.skipped > 0
+
+    def test_every_interval_faulted_still_survives(self, make_monitor):
+        plan = FaultPlan(
+            sites={"monitor.verdict": FaultSpec(mode="corrupt", probability=1.0)}
+        )
+        monitor = make_monitor()
+        with faults.injected(plan):
+            report = monitor.monitor(WINDOW)
+        assert report.skipped == WINDOW
+        assert report.scored == 0
+        assert report.flag_rate == 0.0  # no scored intervals, no division
+        assert report.alarms == []
+
+
+class TestAlarmPolicyUnderSkips:
+    def test_skips_do_not_feed_the_alarm_streak(self, make_monitor):
+        """A skipped interval is not evidence of an attack: it must
+        neither extend nor (by absence of a flag) be able to *complete*
+        a consecutive-abnormal streak."""
+        plan = FaultPlan(
+            sites={"monitor.verdict": FaultSpec(mode="corrupt", probability=1.0)}
+        )
+        monitor = make_monitor()
+        with faults.injected(plan):
+            report = monitor.monitor(WINDOW)
+        assert report.flagged == 0
+        assert report.alarms == []
+
+
+class TestSkipAccounting:
+    def test_skip_counters_and_trace(self, make_monitor):
+        plan = FaultPlan(
+            sites={"monitor.verdict": FaultSpec(mode="corrupt", probability=0.3)},
+            seed=3,
+        )
+        with obs.observed() as (registry, tracer):
+            monitor = make_monitor()
+            with faults.injected(plan):
+                report = monitor.monitor(WINDOW)
+            snapshot = registry.snapshot()
+        assert snapshot["monitor.intervals_skipped"]["value"] == report.skipped
+        assert (
+            snapshot["securecore.verdicts_skipped"]["value"] == report.skipped
+        )
+        assert (
+            snapshot["monitor.intervals_scored"]["value"]
+            == WINDOW - report.skipped
+        )
+        skip_events = [
+            e for e in tracer.events if e.get("name") == "monitor.skipped"
+        ]
+        assert len(skip_events) == report.skipped
+        assert all("reason" in e["args"] for e in skip_events)

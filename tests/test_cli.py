@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import EXIT_ALARM, EXIT_OK, build_parser, main
+from repro.cli import EXIT_ALARM, EXIT_JOB_FAILURES, EXIT_OK, build_parser, main
 
 
 @pytest.fixture(scope="module")
@@ -336,3 +336,84 @@ class TestObservabilityArtifacts:
         assert "run manifest" in out
         assert "monitor.intervals_scored" in out
         assert "counters" in out
+
+
+class TestExperimentsFaultFlags:
+    """The hardened-runner surface of ``repro experiments``: fault
+    plans, retry limits, failure manifests, and exit code 4."""
+
+    TINY = [
+        "--scenario", "shellcode", "--no-cache",
+        "--train-runs", "1", "--train-intervals", "20", "--validation", "20",
+    ]
+
+    @staticmethod
+    def _kill_all_plan(tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": 0,
+                    "sites": {
+                        "runner.job": {"mode": "raise", "probability": 1.0}
+                    },
+                }
+            )
+        )
+        return plan
+
+    def test_clean_grid_exits_ok(self, capsys):
+        code = main(["experiments", *self.TINY])
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "1 of 1 jobs" in out
+
+    def test_failed_jobs_exit_4_and_write_manifest(self, tmp_path, capsys):
+        failures = tmp_path / "failures.json"
+        code = main(
+            [
+                "experiments", *self.TINY,
+                "--fault-plan", str(self._kill_all_plan(tmp_path)),
+                "--max-retries", "0",
+                "--failures-out", str(failures),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_JOB_FAILURES
+        assert "FAILED" in captured.err
+        manifest = json.loads(failures.read_text())
+        assert manifest["failed"] == 1
+        assert manifest["completed"] == 0
+        assert manifest["failures"][0]["site"] == "runner.job"
+
+    def test_fail_fast_also_exits_4(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiments", *self.TINY,
+                "--fault-plan", str(self._kill_all_plan(tmp_path)),
+                "--max-retries", "0", "--fail-fast",
+            ]
+        )
+        capsys.readouterr()
+        assert code == EXIT_JOB_FAILURES
+
+    def test_json_report_carries_failures_and_retries(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiments", *self.TINY, "--json",
+                "--fault-plan", str(self._kill_all_plan(tmp_path)),
+                "--max-retries", "1",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_JOB_FAILURES
+        assert payload["retries"] == 1
+        assert len(payload["failures"]) == 1
+        assert payload["failures"][0]["attempts"] == 2
+
+    def test_bad_fault_plan_is_usage_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"sites": {"not.a.site": {"mode": "raise"}}}))
+        code = main(["experiments", *self.TINY, "--fault-plan", str(plan)])
+        capsys.readouterr()
+        assert code == 2
