@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-fast test-faults bench bench-smoke check report examples clean
+.PHONY: install test test-fast test-faults bench bench-smoke bench-kernels check report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,8 +12,10 @@ test:
 # Tier-1 without the cacheprovider plugin (no .pytest_cache churn) and
 # with any warning raised *from repro code* promoted to an error, so
 # new deprecations in our own modules fail CI instead of scrolling by.
+# Tests marked @pytest.mark.slow (exhaustive sweeps, end-to-end monitor
+# runs) are skipped here; `make test` and CI's full job still run them.
 test-fast:
-	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -W "error:::repro"
+	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m "not slow" -W "error:::repro"
 
 # The fault campaign: plan semantics, runner hardening drills
 # (retry/timeout/crash), serial-vs-parallel manifest identity, cache
@@ -33,6 +35,12 @@ bench:
 # Memometer burst datapath.  Seconds, not minutes — safe for every push.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -s
+
+# Kernel speedup gate: times every repro.kernels hot path under both
+# backends, writes BENCH_kernels.json, exits 5 if the vectorized
+# backend falls below its per-kernel speedup floor.
+bench-kernels:
+	$(PYTHON) -m repro.cli bench --smoke --check --out BENCH_kernels.json
 
 check: test bench-smoke
 

@@ -23,6 +23,10 @@ Python — the workflow a deployment would actually script:
     # inspect a single simulated heat map
     python -m repro.cli heatmap --interval-index 5
 
+    # time the hot-path kernels (reference vs vectorized backends)
+    # and record the perf trajectory in BENCH_kernels.json
+    python -m repro.cli bench --smoke --check
+
     # pretty-print a metrics manifest written with --metrics-out
     python -m repro.cli stats metrics.json
 
@@ -51,7 +55,10 @@ Exit codes (stable; scripts may rely on them):
   (``--job-timeout``).  Completed results are still printed and the
   failure manifest is written to ``--failures-out`` if given.  With
   ``--fail-fast`` the first terminal job failure aborts the grid with
-  this same exit code.
+  this same exit code;
+* ``5`` — ``bench --check`` found a perf regression: a vectorized
+  kernel fell below its speedup floor against the reference oracle.
+  ``BENCH_kernels.json`` is still written for inspection.
 """
 
 from __future__ import annotations
@@ -83,6 +90,7 @@ __all__ = [
     "EXIT_USAGE",
     "EXIT_ALARM",
     "EXIT_JOB_FAILURES",
+    "EXIT_BENCH_REGRESSION",
 ]
 
 #: Clean completion (monitor/attack: no alarm raised).
@@ -94,6 +102,8 @@ EXIT_ALARM = 3
 #: experiments: one or more grid jobs failed terminally (grid itself
 #: completed; surviving results were produced).
 EXIT_JOB_FAILURES = 4
+#: bench --check: a vectorized kernel fell below its speedup floor.
+EXIT_BENCH_REGRESSION = 5
 
 LN10 = float(np.log(10.0))
 
@@ -242,6 +252,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report on stdout"
     )
     _add_obs_arguments(experiments)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time hot-path kernels (reference vs vectorized) "
+        "and write BENCH_kernels.json",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized problem sizes (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_kernels.json", metavar="PATH",
+        help="perf-trajectory JSON output (default BENCH_kernels.json)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions per vectorized kernel (best-of wins)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=2015, help="fixture/e2e seed"
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="exit 5 if any kernel falls below its speedup floor "
+        "(>=3x counting, >=5x GMM scoring, never slower elsewhere)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print the report to stdout too"
+    )
 
     cache = sub.add_parser("cache", help="inspect or empty the artifact cache")
     cache.add_argument("cache_action", choices=("stats", "clear"))
@@ -490,6 +529,7 @@ def _report_json(args, report, densities, detector) -> dict:
             "flag_rate": report.flag_rate,
             "skipped": report.skipped,
             "skipped_intervals": report.skipped_intervals,
+            "kernels_backend": report.kernels_backend,
             "alarms": [vars(a) for a in report.alarms],
             "analysis_time_us": report.analysis_time_us,
             "interval_us": report.interval_us,
@@ -637,6 +677,43 @@ def _cmd_experiments(args) -> int:
     return EXIT_JOB_FAILURES if failures else EXIT_OK
 
 
+def _cmd_bench(args) -> int:
+    from .bench import check_regressions, run_benchmarks, write_report
+
+    results = run_benchmarks(
+        smoke=args.smoke, repeats=args.repeats, seed=args.seed
+    )
+    payload = write_report(args.out, results, smoke=args.smoke, repeats=args.repeats)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                r.kernel,
+                r.n,
+                f"{r.wall_s * 1e3:.3f} ms",
+                f"{r.reference_wall_s * 1e3:.3f} ms",
+                f"{r.speedup_vs_reference:.1f}x",
+            ]
+            for r in results
+        ]
+        print(
+            format_table(
+                ["kernel", "n", "vectorized", "reference", "speedup"],
+                rows,
+                title=f"kernel bench ({payload['mode']}, "
+                f"git {payload['git_sha']}) -> {args.out}",
+            )
+        )
+    failures = check_regressions(results)
+    if failures:
+        for failure in failures:
+            print(f"BENCH REGRESSION {failure}", file=sys.stderr)
+        if args.check:
+            return EXIT_BENCH_REGRESSION
+    return EXIT_OK
+
+
 def _cmd_cache(args) -> int:
     cache = ArtifactCache(args.cache_dir)
     if args.cache_action == "clear":
@@ -714,6 +791,7 @@ _HANDLERS = {
     "monitor": _cmd_monitor,
     "attack": _cmd_attack,
     "experiments": _cmd_experiments,
+    "bench": _cmd_bench,
     "cache": _cmd_cache,
     "heatmap": _cmd_heatmap,
     "stats": _cmd_stats,

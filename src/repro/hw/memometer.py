@@ -20,8 +20,11 @@ This model is bit-exact at the level that matters:
   the secure core analyses buffer *i* land in buffer *1-i*.
 
 A scalar :meth:`Memometer.observe` reproduces the per-address datapath;
-the vectorised :meth:`Memometer.observe_burst` is the fast path used by
-the simulator and is property-tested to agree with the scalar one.
+:meth:`Memometer.observe_burst` is the fast path used by the simulator.
+The burst path routes through :func:`repro.kernels.count_cells`, so the
+``REPRO_KERNELS`` switch selects between the vectorised histogram
+(``np.bincount`` over the shifted offsets) and the scalar reference
+oracle; the differential suite holds the two bit-identical.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from .. import obs
+from .. import kernels, obs
 from ..core.mhm import MemoryHeatMap
 from ..core.spec import HeatMapSpec
 from ..sim.trace import AccessBurst
@@ -168,27 +171,29 @@ class Memometer:
         return True
 
     def observe_burst(self, burst: AccessBurst) -> None:
-        """Vectorised datapath: a batch of snooped addresses."""
+        """Batched datapath: a burst of snooped addresses per kernel call."""
         total = int(burst.weights.sum())
         self.snooped_accesses += total
         self._metric_snooped.inc(total)
         self._metric_bursts.inc()
-        indices, in_region = self.spec.cell_indices(burst.addresses)
-        kept = burst.weights[in_region]
-        if not kept.size:
+        increments, accepted = kernels.count_cells(
+            burst.addresses,
+            burst.weights,
+            base_address=self.registers.base_address,
+            region_size=self.registers.region_size,
+            shift=self.spec.shift,
+            num_cells=self.spec.num_cells,
+        )
+        if accepted == 0:
             self._metric_filtered.inc(total)
             return
-        increments = np.bincount(
-            indices, weights=kept, minlength=self.spec.num_cells
-        ).astype(np.uint64)
         buf = self._buffers[self._active]
-        summed = buf + increments
+        summed = buf + increments.astype(np.uint64)
         if self._metric_saturated.enabled:
             over = summed > COUNTER_MAX
             if over.any():
                 self._metric_saturated.inc(int(over.sum()))
         np.minimum(summed, COUNTER_MAX, out=buf, casting="unsafe")
-        accepted = int(kept.sum())
         self.accepted_accesses += accepted
         self._metric_accepted.inc(accepted)
         self._metric_filtered.inc(total - accepted)

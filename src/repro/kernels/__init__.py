@@ -1,0 +1,242 @@
+"""Hot-path kernels with switchable backends.
+
+The pipeline's three hot loops — Memometer cell counting over
+instruction-fetch traces, eigenmemory (PCA) projection of whole MHM
+batches, and GMM log-density scoring (EM E-step, threshold
+calibration, online detection) — are concentrated here as *kernels*
+with two interchangeable backends:
+
+``vectorized`` (default)
+    Batched NumPy/BLAS implementations: one ``np.bincount`` per trace
+    burst, one GEMM per MHM batch, one pass over all J mixture
+    components for N samples.  This is the production path.
+
+``reference``
+    Deliberately scalar pure-Python implementations that follow the
+    paper's formulas one element at a time (accumulating with
+    ``math.fsum``, so they are *more* accurate than a naive loop).
+    They exist as the differential-test oracle: slow, obvious,
+    independently written.  ``tests/kernels/test_differential.py``
+    holds the vectorized backend to the oracle — bit-identical for
+    integer counting, ≤1e-9 for floating point — on hypothesis-generated
+    inputs and on the end-to-end golden pipeline.
+
+Select the backend with the ``REPRO_KERNELS`` environment variable
+(``reference`` or ``vectorized``), or programmatically::
+
+    from repro import kernels
+    kernels.set_backend("reference")      # process-wide
+    with kernels.use_backend("reference"):  # scoped
+        ...
+
+Every public kernel dispatches per call, so a switch takes effect
+immediately.  ``repro.bench`` times each kernel under both backends
+and records the speedups in ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "KernelBackendError",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "backend_module",
+    "count_cells",
+    "project_batch",
+    "reconstruct_batch",
+    "component_log_densities",
+    "log_density_batch",
+    "responsibilities_batch",
+    "logsumexp",
+    "safe_log_weights",
+]
+
+#: Recognised backend names.
+BACKENDS = ("reference", "vectorized")
+#: Environment variable that selects the backend for a process.
+ENV_VAR = "REPRO_KERNELS"
+#: Backend used when neither an override nor the env var is set.
+DEFAULT_BACKEND = "vectorized"
+
+#: Process-wide programmatic override (survives env changes).
+_override: Optional[str] = None
+
+
+class KernelBackendError(ValueError):
+    """Raised for an unknown ``REPRO_KERNELS`` / backend name."""
+
+
+def _validate(name: str) -> str:
+    name = str(name).strip().lower()
+    if name not in BACKENDS:
+        raise KernelBackendError(
+            f"unknown kernels backend {name!r}; choose from {list(BACKENDS)} "
+            f"(set via the {ENV_VAR} environment variable or "
+            f"repro.kernels.set_backend)"
+        )
+    return name
+
+
+def active_backend() -> str:
+    """The backend name kernels will dispatch to right now."""
+    if _override is not None:
+        return _override
+    raw = os.environ.get(ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_BACKEND
+    return _validate(raw)
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide backend override.
+
+    The override takes precedence over the ``REPRO_KERNELS``
+    environment variable.
+    """
+    global _override
+    _override = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_backend(name: str):
+    """Scoped backend switch (restores the previous override on exit)."""
+    global _override
+    previous = _override
+    _override = _validate(name)
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def backend_module(name: Optional[str] = None):
+    """The implementation module for ``name`` (default: active backend)."""
+    resolved = _validate(name) if name is not None else active_backend()
+    if resolved == "reference":
+        from . import reference
+
+        return reference
+    from . import vectorized
+
+    return vectorized
+
+
+# ----------------------------------------------------------------------
+# Shared helpers (backend-independent)
+# ----------------------------------------------------------------------
+def safe_log_weights(weights: np.ndarray) -> np.ndarray:
+    """``log λ_j`` with exact ``-inf`` for collapsed (zero) weights.
+
+    ``np.log`` on a zero weight emits a divide-by-zero RuntimeWarning —
+    which ``make test-fast`` promotes to an error — before returning
+    the ``-inf`` we want anyway.  A collapsed mixture component must
+    score as impossible, silently.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    out = np.full(weights.shape, -np.inf)
+    positive = weights > 0
+    np.log(weights, out=out, where=positive)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dispatching kernel entry points
+# ----------------------------------------------------------------------
+def count_cells(
+    addresses: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    *,
+    base_address: int,
+    region_size: int,
+    shift: int,
+    num_cells: int,
+) -> tuple:
+    """Memometer histogramming: per-cell access counts for one burst.
+
+    Implements the Section 3.1 datapath — ``offset = addr - base``,
+    drop unless ``0 <= offset < S``, ``idx = offset >> g`` — over a
+    whole address burst.  Returns ``(counts, accepted)`` where
+    ``counts`` is an ``int64`` array of length ``num_cells`` holding
+    the (unsaturated) increments and ``accepted`` is the total weight
+    that passed the region filter.  Integer arithmetic throughout:
+    both backends are bit-identical (exact for totals below 2**53).
+    """
+    return backend_module().count_cells(
+        addresses,
+        weights,
+        base_address=base_address,
+        region_size=region_size,
+        shift=shift,
+        num_cells=num_cells,
+    )
+
+
+def project_batch(
+    matrix: np.ndarray, mean: np.ndarray, components: np.ndarray
+) -> np.ndarray:
+    """Eigenmemory projection ``(M - Ψ) Uᵀ`` for a whole MHM batch."""
+    return backend_module().project_batch(matrix, mean, components)
+
+
+def reconstruct_batch(
+    weights: np.ndarray, mean: np.ndarray, components: np.ndarray
+) -> np.ndarray:
+    """Inverse eigenmemory transform ``W U + Ψ`` for a weight batch."""
+    return backend_module().reconstruct_batch(weights, mean, components)
+
+
+def component_log_densities(
+    data: np.ndarray, means: np.ndarray, cholesky_factors: np.ndarray
+) -> np.ndarray:
+    """``(N, J)`` per-component Gaussian log densities."""
+    return backend_module().component_log_densities(data, means, cholesky_factors)
+
+
+def log_density_batch(
+    data: np.ndarray,
+    weights: np.ndarray,
+    means: np.ndarray,
+    cholesky_factors: np.ndarray,
+) -> np.ndarray:
+    """GMM mixture log density ``ln Pr(M)`` for N samples in one pass.
+
+    Shared by EM's likelihood evaluation, threshold calibration and
+    the online monitor (paper Eq. 2, evaluated in log space with the
+    log-sum-exp trick).
+    """
+    return backend_module().log_density_batch(data, weights, means, cholesky_factors)
+
+
+def responsibilities_batch(
+    data: np.ndarray,
+    weights: np.ndarray,
+    means: np.ndarray,
+    cholesky_factors: np.ndarray,
+) -> tuple:
+    """EM E-step: ``(log_norm, responsibilities)`` for N samples.
+
+    ``log_norm`` is the per-sample mixture log density (shape ``(N,)``)
+    and ``responsibilities`` the ``(N, J)`` posterior memberships.
+    """
+    return backend_module().responsibilities_batch(
+        data, weights, means, cholesky_factors
+    )
+
+
+def logsumexp(values: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Numerically stable ``log Σ exp`` along ``axis``.
+
+    All-``-inf`` rows reduce to ``-inf`` without warnings; widely
+    separated finite values never overflow.
+    """
+    return backend_module().logsumexp(values, axis=axis)

@@ -130,8 +130,9 @@ class MhmDetector:
                 calibration = self.eigenmemory.transform(_as_matrix(validation))
             else:
                 calibration = reduced
-            densities = self.gmm.score_samples(calibration)
-            self.thresholds = ThresholdBank.calibrate(densities, self.quantiles)
+            self.thresholds = ThresholdBank.calibrate_from_gmm(
+                self.gmm, calibration, self.quantiles
+            )
         return self
 
     @property

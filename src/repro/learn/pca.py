@@ -15,6 +15,12 @@ Implementation note: the paper forms the L×L covariance ``C = A·Aᵀ``
 SVD of ``A`` directly — mathematically identical (the left singular
 vectors of A are the eigenvectors of A·Aᵀ, with eigenvalues σ²/N) and
 numerically better, and it gets the eigenfaces N ≪ L economy for free.
+
+Projection and reconstruction route through
+:mod:`repro.kernels` (``project_batch`` / ``reconstruct_batch``): the
+default vectorized backend does each batch in a single GEMM, while
+``REPRO_KERNELS=reference`` selects the scalar per-(sample, component)
+oracle the differential suite compares against.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from .. import kernels
 from ..core.mhm import MemoryHeatMap
 from ..core.series import HeatMapSeries
 
@@ -154,7 +161,7 @@ class Eigenmemory:
             raise ValueError(
                 f"expected {len(self.mean_)} cells, got {matrix.shape[1]}"
             )
-        return (matrix - self.mean_) @ self.components_.T
+        return kernels.project_batch(matrix, self.mean_, self.components_)
 
     def transform_one(self, heat_map: MemoryHeatMap) -> np.ndarray:
         """Project a single heat map; returns the weight vector (L′,)."""
@@ -171,7 +178,7 @@ class Eigenmemory:
             raise ValueError(
                 f"expected {self.num_components_} weights, got {weights.shape[1]}"
             )
-        result = weights @ self.components_ + self.mean_
+        result = kernels.reconstruct_batch(weights, self.mean_, self.components_)
         return result[0] if single else result
 
     def reconstruction_error(self, data: ArrayLike) -> np.ndarray:

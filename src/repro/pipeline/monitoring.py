@@ -27,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from .. import faults, obs
+from .. import faults, kernels, obs
 from ..learn.detector import MhmDetector
 from ..sim.platform import Platform
 
@@ -49,7 +49,10 @@ class MonitoringReport:
     """Outcome of one online-monitoring window.
 
     ``skipped`` counts intervals degraded to SKIPPED verdicts; their
-    entries in ``log_densities`` are NaN.
+    entries in ``log_densities`` are NaN.  ``kernels_backend`` records
+    which ``repro.kernels`` backend scored the window (provenance for
+    perf comparisons: reference-backend densities are oracle-grade but
+    orders of magnitude slower).
     """
 
     intervals: int
@@ -60,6 +63,7 @@ class MonitoringReport:
     interval_us: float = 0.0
     skipped: int = 0
     skipped_intervals: list[int] = field(default_factory=list)
+    kernels_backend: str = ""
 
     @property
     def scored(self) -> int:
@@ -226,4 +230,5 @@ class OnlineMonitor:
             interval_us=self.platform.config.interval_ns / 1_000.0,
             skipped=sum(1 for r in results if r.skipped),
             skipped_intervals=[r.interval_index for r in results if r.skipped],
+            kernels_backend=kernels.active_backend(),
         )

@@ -26,7 +26,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from .. import faults
+from .. import faults, kernels
 from ..attacks import AppLaunchAttack, ShellcodeAttack, SyscallHijackRootkit
 from ..core.mhm import MemoryHeatMap
 from ..core.series import HeatMapSeries
@@ -130,7 +130,17 @@ def training_material(
 
 
 def detector_material(train_material: dict, detector_kwargs: Mapping) -> dict:
-    return {"train": train_material, "detector": dict(detector_kwargs)}
+    # The kernels backend is a genuine input of the detector-fitting
+    # stage: reference and vectorized scoring agree only to rounding,
+    # and EM amplifies last-ulp differences across iterations — so the
+    # two backends must not share fitted-detector cache entries.  The
+    # simulation stages stay backend-agnostic: MHM counts are integer
+    # and bit-identical under both backends by construction.
+    return {
+        "train": train_material,
+        "detector": dict(detector_kwargs),
+        "kernels_backend": kernels.active_backend(),
+    }
 
 
 def scenario_material(

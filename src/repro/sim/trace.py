@@ -20,7 +20,13 @@ from typing import Iterable, Protocol
 
 import numpy as np
 
-__all__ = ["AccessBurst", "TraceProbe", "TraceRecorder", "BurstFanout"]
+__all__ = [
+    "AccessBurst",
+    "TraceProbe",
+    "TraceRecorder",
+    "BurstFanout",
+    "synthetic_burst",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,53 @@ class AccessBurst:
             kind=kind,
             core=core,
         )
+
+
+def synthetic_burst(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    base_address: int,
+    region_size: int,
+    in_region_fraction: float = 0.9,
+    max_weight: int = 4,
+    time_ns: int = 0,
+    kind: str = "synthetic",
+) -> AccessBurst:
+    """A random instruction-fetch burst for benches and kernel tests.
+
+    Draws ``n`` addresses of which roughly ``in_region_fraction`` land
+    inside ``[base_address, base_address + region_size)`` and the rest
+    straddle both sides of the region (the Memometer must filter
+    them), with per-address weights in ``[1, max_weight]``.  Shaped
+    like the bursts the simulated kernel emits, but sized freely — the
+    bench harness uses it to reproduce EXPERIMENTS.md-scale traces
+    without running the simulator.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not 0.0 <= in_region_fraction <= 1.0:
+        raise ValueError("in_region_fraction must be in [0, 1]")
+    inside = rng.random(n) < in_region_fraction
+    addresses = np.empty(n, dtype=np.int64)
+    addresses[inside] = base_address + rng.integers(
+        0, region_size, size=int(inside.sum())
+    )
+    outside = ~inside
+    # Out-of-region addresses surround the region on both sides.
+    margin = max(region_size // 4, 1)
+    low = rng.integers(
+        max(base_address - margin, 0),
+        base_address + region_size + margin,
+        size=int(outside.sum()),
+    )
+    mask = (low >= base_address) & (low < base_address + region_size)
+    low[mask] = np.maximum(base_address - 1 - (low[mask] - base_address), 0)
+    addresses[outside] = low
+    weights = rng.integers(1, max_weight + 1, size=n)
+    return AccessBurst(
+        time_ns=time_ns, addresses=addresses, weights=weights, kind=kind
+    )
 
 
 class TraceProbe(Protocol):

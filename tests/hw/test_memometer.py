@@ -144,6 +144,48 @@ class TestVectorDatapath:
         assert scalar.accepted_accesses == vector.accepted_accesses
 
 
+class TestRegionBoundaries:
+    """Regression guard on the Section 3.1 filter arithmetic.
+
+    Audited for an off-by-one at the region's far edge: accept iff
+    ``0 <= addr - base < S``, so ``base + S - 1`` is the last counted
+    byte and ``base + S`` the first dropped one — including when S is
+    not a multiple of the granularity and the last cell is short.
+    """
+
+    def test_last_byte_lands_in_last_cell(self):
+        memometer = Memometer(make_registers())
+        assert memometer.observe(0x1000 + 0x800 - 1)
+        assert memometer.active_counts()[7] == 1
+
+    def test_first_byte_past_region_dropped(self):
+        memometer = Memometer(make_registers())
+        assert not memometer.observe(0x1000 + 0x800)
+        assert memometer.active_counts().sum() == 0
+
+    def test_partial_last_cell(self):
+        # 0x7F0 bytes at 0x100 granularity: 7 full cells + a 240-byte
+        # eighth cell.  Its last byte must index cell 7, not fall off
+        # the counter array or get filtered.
+        registers = make_registers(size=0x7F0)
+        assert registers.spec.num_cells == 8
+        memometer = Memometer(registers)
+        assert memometer.observe(0x1000 + 0x7F0 - 1)
+        assert not memometer.observe(0x1000 + 0x7F0)
+        counts = memometer.active_counts()
+        assert counts[7] == 1 and counts.sum() == 1
+
+    def test_partial_last_cell_vector_path(self):
+        registers = make_registers(size=0x7F0)
+        memometer = Memometer(registers)
+        memometer.observe_burst(
+            make_burst([0x1000 + 0x7EF, 0x1000 + 0x7F0, 0x1000 + 0x7FF])
+        )
+        counts = memometer.active_counts()
+        assert counts[7] == 1 and counts.sum() == 1
+        assert memometer.accepted_accesses == 1
+
+
 class TestDoubleBuffering:
     def test_boundary_returns_completed_map(self):
         memometer = Memometer(make_registers())

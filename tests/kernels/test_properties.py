@@ -1,0 +1,177 @@
+"""Kernel-level invariants that hold for *both* backends.
+
+Where the differential suite asks "do the backends agree?", this one
+asks "is what they agree on actually right?" — region boundary
+arithmetic, partial last cells, degenerate PCA inputs, probability
+normalisation and log-space numerical stability.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.learn.pca import Eigenmemory
+
+pytestmark = pytest.mark.parametrize("backend", kernels.BACKENDS)
+
+
+@pytest.fixture(autouse=True)
+def _select_backend(backend):
+    with kernels.use_backend(backend):
+        yield
+
+
+class TestCountingBoundaries:
+    """Section 3.1 datapath: accept iff ``0 <= addr - base < S``."""
+
+    BASE, SIZE, SHIFT = 0x1000, 0x800, 8  # 8 full cells of 256 bytes
+
+    def count(self, addresses, size=None):
+        size = self.SIZE if size is None else size
+        num_cells = -(-size // (1 << self.SHIFT))  # ceil division
+        return kernels.count_cells(
+            np.asarray(addresses, dtype=np.int64),
+            base_address=self.BASE,
+            region_size=size,
+            shift=self.SHIFT,
+            num_cells=num_cells,
+        )
+
+    def test_first_and_last_byte_accepted(self, backend):
+        counts, accepted = self.count([self.BASE, self.BASE + self.SIZE - 1])
+        assert accepted == 2
+        assert counts[0] == 1 and counts[-1] == 1
+
+    def test_neighbours_rejected(self, backend):
+        counts, accepted = self.count([self.BASE - 1, self.BASE + self.SIZE])
+        assert accepted == 0 and counts.sum() == 0
+
+    def test_partial_last_cell(self, backend):
+        """S not a multiple of the granularity: the final, short cell
+        still owns every address up to ``base + S - 1``."""
+        size = 0x7F0  # 2,032 bytes -> 7 full cells + one 240-byte cell
+        counts, accepted = self.count(
+            [self.BASE + size - 1, self.BASE + size], size=size
+        )
+        assert accepted == 1
+        assert counts[-1] == 1 and len(counts) == 8
+
+    def test_cell_edges(self, backend):
+        """Last byte of cell k and first byte of cell k+1 split cleanly."""
+        counts, accepted = self.count([self.BASE + 0xFF, self.BASE + 0x100])
+        assert accepted == 2
+        assert counts[0] == 1 and counts[1] == 1
+
+
+class TestDegeneratePca:
+    def test_zero_variance_cells_stay_finite(self, backend):
+        """Constant (never-executed) cells must not poison the
+        transform: their centered values are exactly zero."""
+        rng = np.random.default_rng(8)
+        matrix = rng.random((12, 10)) * 100.0
+        matrix[:, 3] = 42.0
+        matrix[:, 7] = 0.0
+        model = Eigenmemory(num_components=3).fit(matrix)
+        reduced = model.transform(matrix)
+        restored = model.inverse_transform(reduced)
+        assert np.isfinite(reduced).all() and np.isfinite(restored).all()
+        # The constant cells reconstruct exactly from the mean alone.
+        np.testing.assert_allclose(restored[:, 3], 42.0, atol=1e-9)
+        np.testing.assert_allclose(restored[:, 7], 0.0, atol=1e-9)
+
+    def test_round_trip_in_span(self, backend):
+        """Transform then inverse-transform is exact for data already in
+        the eigenmemory span (full rank kept)."""
+        rng = np.random.default_rng(9)
+        matrix = rng.random((6, 5))
+        model = Eigenmemory(num_components=5).fit(matrix)
+        restored = model.inverse_transform(model.transform(matrix))
+        np.testing.assert_allclose(restored, matrix, atol=1e-8)
+
+
+def _mixture(rng, num_components=4, dim=3, zero_weight=False):
+    means = rng.standard_normal((num_components, dim)) * 2.0
+    factors = rng.standard_normal((num_components, dim, dim)) * 0.3
+    covariances = factors @ factors.transpose(0, 2, 1) + 0.4 * np.eye(dim)
+    cholesky_factors = np.linalg.cholesky(covariances)
+    weights = rng.dirichlet(np.ones(num_components))
+    if zero_weight:
+        weights[-1] = 0.0
+        weights /= weights.sum()
+    return weights, means, cholesky_factors
+
+
+class TestResponsibilityNormalisation:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=1, max_value=30),
+        zero_weight=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rows_sum_to_one(self, backend, seed, n, zero_weight):
+        rng = np.random.default_rng(seed)
+        weights, means, chols = _mixture(rng, zero_weight=zero_weight)
+        data = rng.standard_normal((n, means.shape[1])) * 2.0
+        log_norm, resp = kernels.responsibilities_batch(
+            data, weights, means, chols
+        )
+        assert log_norm.shape == (n,) and resp.shape == (n, len(weights))
+        assert np.isfinite(log_norm).all()
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0, atol=1e-9)
+        assert (resp >= 0).all()
+
+    def test_dead_component_gets_zero_responsibility(self, backend):
+        rng = np.random.default_rng(21)
+        weights, means, chols = _mixture(rng, zero_weight=True)
+        data = rng.standard_normal((10, means.shape[1]))
+        _, resp = kernels.responsibilities_batch(data, weights, means, chols)
+        np.testing.assert_array_equal(resp[:, -1], 0.0)
+
+
+class TestLogSpaceStability:
+    def test_widely_separated_values(self, backend):
+        """exp() of the raw values would overflow/underflow; the
+        log-sum-exp result is dominated by the peak."""
+        values = np.array([[1000.0, -1000.0], [-2000.0, -2005.0]])
+        out = kernels.logsumexp(values, axis=1)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0], 1000.0, atol=1e-9)
+        np.testing.assert_allclose(
+            out[1], -2000.0 + np.log1p(np.exp(-5.0)), atol=1e-9
+        )
+
+    def test_all_minus_inf_row(self, backend):
+        """A sample impossible under every component scores -inf — with
+        no divide-by-zero warning (test-fast promotes those to errors)."""
+        values = np.array([[-np.inf, -np.inf], [0.0, -np.inf]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = kernels.logsumexp(values, axis=1)
+        assert out[0] == -np.inf
+        np.testing.assert_allclose(out[1], 0.0, atol=1e-9)
+
+    def test_single_column(self, backend):
+        values = np.array([[3.5], [-1.25]])
+        np.testing.assert_allclose(
+            kernels.logsumexp(values, axis=1), [3.5, -1.25], atol=1e-9
+        )
+
+    def test_safe_log_weights_silent_on_zero(self, backend):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = kernels.safe_log_weights(np.array([0.0, 0.25, 0.75]))
+        assert out[0] == -np.inf
+        np.testing.assert_allclose(out[1:], np.log([0.25, 0.75]))
+
+    def test_zero_weight_mixture_scores_without_warnings(self, backend):
+        rng = np.random.default_rng(33)
+        weights, means, chols = _mixture(rng, zero_weight=True)
+        data = rng.standard_normal((8, means.shape[1]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            densities = kernels.log_density_batch(data, weights, means, chols)
+        assert np.isfinite(densities).all()

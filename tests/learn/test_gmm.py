@@ -188,6 +188,57 @@ class TestScoring:
             GaussianMixtureModel().score_samples(np.zeros((1, 2)))
 
 
+class TestCollapsedComponents:
+    """Regression: a zero-weight (collapsed) component used to emit a
+    divide-by-zero RuntimeWarning from ``np.log(0)`` on every scoring
+    call — fatal under ``make test-fast``'s warnings-as-errors filter.
+    The kernels' ``safe_log_weights`` now scores it as exactly -inf,
+    silently."""
+
+    @pytest.fixture()
+    def collapsed(self):
+        model = GaussianMixtureModel(num_components=3)
+        model.parameters = GmmParameters(
+            weights=np.array([0.6, 0.4, 0.0]),
+            means=np.array([[0.0, 0.0], [5.0, 5.0], [99.0, 99.0]]),
+            covariances=np.stack([np.eye(2)] * 3),
+        )
+        model.converged_ = True
+        return model
+
+    def test_scores_finite_without_warnings(self, collapsed):
+        import warnings
+
+        data = np.array([[0.1, -0.2], [5.2, 4.9], [2.5, 2.5]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            densities = collapsed.score_samples(data)
+        assert np.isfinite(densities).all()
+
+    def test_dead_component_never_responsible(self, collapsed):
+        data = np.array([[99.0, 99.0], [0.0, 0.0]])
+        resp = collapsed.responsibilities(data)
+        # Even a point sitting exactly on the dead component's mean
+        # belongs to the live components only.
+        np.testing.assert_array_equal(resp[:, 2], 0.0)
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0)
+
+    def test_dead_component_matches_its_removal(self, collapsed):
+        """Scoring with the collapsed component present equals scoring
+        the two-component mixture with it dropped."""
+        data = np.array([[0.5, 0.5], [4.0, 4.5]])
+        trimmed = GaussianMixtureModel(num_components=2)
+        trimmed.parameters = GmmParameters(
+            weights=np.array([0.6, 0.4]),
+            means=collapsed.parameters.means[:2],
+            covariances=collapsed.parameters.covariances[:2],
+        )
+        trimmed.converged_ = True
+        np.testing.assert_allclose(
+            collapsed.score_samples(data), trimmed.score_samples(data), atol=1e-12
+        )
+
+
 class TestPersistence:
     def test_roundtrip(self):
         data, _, _ = three_component_data(n=200)
