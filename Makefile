@@ -9,13 +9,24 @@ install:
 test:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
+# Coverage is opt-in by installation: when pytest-cov is importable
+# (CI installs it; see .github/workflows/ci.yml) test-fast collects
+# line coverage and enforces the floors in tools/check_coverage.py
+# (>=85% on src/repro/serve/, never below tools/coverage_baseline.json
+# for the rest).  Without pytest-cov the suite runs uninstrumented.
+COVFLAGS := $(shell $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1 \
+    && echo "--cov=src/repro --cov-report=html:htmlcov --cov-report=json:coverage.json")
+
 # Tier-1 without the cacheprovider plugin (no .pytest_cache churn) and
 # with any warning raised *from repro code* promoted to an error, so
 # new deprecations in our own modules fail CI instead of scrolling by.
 # Tests marked @pytest.mark.slow (exhaustive sweeps, end-to-end monitor
 # runs) are skipped here; `make test` and CI's full job still run them.
 test-fast:
-	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m "not slow" -W "error:::repro"
+	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m "not slow" -W "error:::repro" $(COVFLAGS)
+ifneq ($(COVFLAGS),)
+	$(PYTHON) tools/check_coverage.py coverage.json
+endif
 
 # The fault campaign: plan semantics, runner hardening drills
 # (retry/timeout/crash), serial-vs-parallel manifest identity, cache
@@ -52,4 +63,5 @@ examples:
 
 clean:
 	rm -rf benchmarks/out REPORT.md test_output.txt bench_output.txt \
+	       htmlcov coverage.json .coverage \
 	       .pytest_cache $$(find . -name __pycache__ -type d)

@@ -59,11 +59,19 @@ Exit codes (stable; scripts may rely on them):
 * ``5`` — ``bench --check`` found a perf regression: a vectorized
   kernel fell below its speedup floor against the reference oracle.
   ``BENCH_kernels.json`` is still written for inspection.
+* ``6`` — ``serve`` completed **degraded**: one or more interval
+  records were dropped under backpressure (``drop-oldest`` policy with
+  the queue overflowing).  The fleet report is still written/printed.
+
+The single source of truth for these values is the :class:`ExitCode`
+enum below; the ``EXIT_*`` module constants are aliases kept for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
 import argparse
+import enum
 import json
 import sys
 
@@ -79,6 +87,8 @@ from .pipeline.runner import ExperimentRunner, JobFailedError, build_grid_jobs
 from .pipeline.scenario import ScenarioRunner
 from .pipeline.stages import SCENARIOS as _SCENARIOS
 from .pipeline.training import collect_training_data, train_detector
+from .serve import FleetReport, FleetService, FleetTrainSpec, ServeConfig
+from .serve.router import POLICIES as _POLICIES
 from .sim.platform import Platform, PlatformConfig
 from .viz.ascii import render_heatmap, render_series
 from .viz.tables import format_metrics, format_table
@@ -86,24 +96,48 @@ from .viz.tables import format_metrics, format_table
 __all__ = [
     "main",
     "build_parser",
+    "ExitCode",
     "EXIT_OK",
     "EXIT_USAGE",
     "EXIT_ALARM",
     "EXIT_JOB_FAILURES",
     "EXIT_BENCH_REGRESSION",
+    "EXIT_SERVE_DEGRADED",
 ]
 
-#: Clean completion (monitor/attack: no alarm raised).
-EXIT_OK = 0
-#: Invalid invocation (argparse errors use the same code).
-EXIT_USAGE = 2
-#: monitor/attack raised an alarm.
-EXIT_ALARM = 3
-#: experiments: one or more grid jobs failed terminally (grid itself
-#: completed; surviving results were produced).
-EXIT_JOB_FAILURES = 4
-#: bench --check: a vectorized kernel fell below its speedup floor.
-EXIT_BENCH_REGRESSION = 5
+
+class ExitCode(enum.IntEnum):
+    """Every exit code the CLI can return — the single source of truth.
+
+    Scripts may rely on these values; changing one is a breaking
+    interface change.  ``tests/test_cli.py`` pins each member.
+    """
+
+    #: Clean completion (monitor/attack: no alarm raised).
+    OK = 0
+    #: I/O or input-file error (missing detector/manifest, bad JSON,
+    #: unwritable output directory).
+    IO_ERROR = 1
+    #: Invalid invocation (argparse errors use the same code).
+    USAGE = 2
+    #: monitor/attack raised an alarm.
+    ALARM = 3
+    #: experiments: one or more grid jobs failed terminally (grid
+    #: itself completed; surviving results were produced).
+    JOB_FAILURES = 4
+    #: bench --check: a vectorized kernel fell below its speedup floor.
+    BENCH_REGRESSION = 5
+    #: serve: intervals were dropped under backpressure.
+    SERVE_DEGRADED = 6
+
+
+# Backwards-compatible aliases (public API since PR 1).
+EXIT_OK = ExitCode.OK
+EXIT_USAGE = ExitCode.USAGE
+EXIT_ALARM = ExitCode.ALARM
+EXIT_JOB_FAILURES = ExitCode.JOB_FAILURES
+EXIT_BENCH_REGRESSION = ExitCode.BENCH_REGRESSION
+EXIT_SERVE_DEGRADED = ExitCode.SERVE_DEGRADED
 
 LN10 = float(np.log(10.0))
 
@@ -296,6 +330,115 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="dump the MHM as JSON instead of ASCII"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the fleet-scale streaming detection service "
+        "(N devices, K shard workers, batched scoring)",
+    )
+    serve.add_argument(
+        "--devices", "-n", type=int, default=8, help="simulated devices"
+    )
+    serve.add_argument(
+        "--shards", "-k", type=int, default=1, help="shard worker processes"
+    )
+    serve.add_argument(
+        "--duration", type=float, metavar="SECONDS",
+        help="simulated seconds per device (converted to monitoring "
+        "intervals at the paper's 10 ms cadence)",
+    )
+    serve.add_argument(
+        "--intervals", type=int,
+        help="monitoring intervals per device (overrides --duration; "
+        "default 100)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; per-device platform seeds derive from it via "
+        "SeedSequence.spawn, so results are shard-count independent",
+    )
+    serve.add_argument(
+        "--policy", choices=_POLICIES, default="block",
+        help="backpressure policy when a shard queue is full "
+        "(default block: producers stall, nothing is dropped)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=128,
+        help="bounded queue capacity per shard (default 128)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=32,
+        help="scoring batch size = fixed kernel batch shape (default 32)",
+    )
+    serve.add_argument(
+        "--drain-per-step", type=int, metavar="M",
+        help="throttle: score at most M records per shard per fleet step "
+        "(models a saturated scoring core; default unlimited)",
+    )
+    serve.add_argument(
+        "--attacks", type=int, default=0, metavar="N",
+        help="inject attacks on N devices (spread evenly, scenarios cycled)",
+    )
+    serve.add_argument(
+        "--scenario", action="append", choices=sorted(_SCENARIOS),
+        help="attack scenario(s) to cycle over attacked devices "
+        "(repeatable; default all)",
+    )
+    serve.add_argument(
+        "--profiles", default="baseline,rtos,netload",
+        help="comma-separated device profiles to mix (default "
+        "baseline,rtos,netload)",
+    )
+    serve.add_argument(
+        "--quantile", type=float, default=1.0, metavar="P",
+        help="θ_p calibration quantile in percent (default 1.0)",
+    )
+    serve.add_argument(
+        "--alarm-consecutive", type=int, default=3,
+        help="consecutive sub-θ intervals required for an alarm (default 3)",
+    )
+    serve.add_argument(
+        "--train-runs", type=int, default=2,
+        help="training boots per device profile (default 2)",
+    )
+    serve.add_argument(
+        "--train-intervals", type=int, default=80,
+        help="MHMs per training boot (default 80)",
+    )
+    serve.add_argument(
+        "--validation", type=int, default=80,
+        help="held-out calibration MHMs per profile (default 80)",
+    )
+    serve.add_argument(
+        "--cache-dir", help="artifact cache root (default ~/.cache/repro)"
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="train profile detectors without the on-disk cache",
+    )
+    serve.add_argument(
+        "--report-out", metavar="PATH", help="write the fleet report JSON here"
+    )
+    serve.add_argument(
+        "--fault-plan", metavar="PATH",
+        help="JSON fault-injection plan (site serve.score degrades "
+        "matching records to SKIPPED verdicts)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print the full fleet report JSON on stdout",
+    )
+    _add_obs_arguments(serve)
+
+    fleet_report = sub.add_parser(
+        "fleet-report",
+        help="render a fleet report JSON written by `serve --report-out`",
+    )
+    fleet_report.add_argument("report_json", help="fleet report JSON file")
+    fleet_report.add_argument(
+        "--json", action="store_true",
+        help="echo the report as canonical JSON instead of tables",
+    )
+
     stats = sub.add_parser(
         "stats", help="pretty-print a manifest written with --metrics-out"
     )
@@ -345,6 +488,27 @@ def _obs_finish(args, command: str, config=None, seed=None, intervals=None, **ex
             trace_events=len(obs.tracer()),
             **extra,
         ).write(manifest_path)
+
+
+class _FaultPlanError(ValueError):
+    """A --fault-plan file failed validation (usage error, not I/O)."""
+
+
+def _load_fault_plan(path):
+    """Parse a ``--fault-plan`` JSON file (shared by experiments/serve).
+
+    I/O and JSON syntax errors propagate (``main`` maps them to exit
+    code 1); schema violations raise :class:`_FaultPlanError` so
+    handlers can return the usage exit code.
+    """
+    if not path:
+        return None
+    with open(path) as fh:
+        plan_dict = json.load(fh)
+    try:
+        return FaultPlan.from_dict(plan_dict)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _FaultPlanError(f"invalid fault plan {path}: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -556,16 +720,11 @@ def _cmd_experiments(args) -> int:
     if args.validation is not None:
         train_overrides["validation_intervals"] = args.validation
 
-    fault_plan = None
-    if args.fault_plan:
-        with open(args.fault_plan) as fh:
-            plan_dict = json.load(fh)
-        try:
-            fault_plan = FaultPlan.from_dict(plan_dict)
-        except (KeyError, TypeError, ValueError) as exc:
-            print(f"error: invalid fault plan {args.fault_plan}: {exc}",
-                  file=sys.stderr)
-            return EXIT_USAGE
+    try:
+        fault_plan = _load_fault_plan(args.fault_plan)
+    except _FaultPlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return ExitCode.USAGE
 
     jobs = build_grid_jobs(
         scenarios,
@@ -786,6 +945,143 @@ def _cmd_stats(args) -> int:
     return EXIT_OK
 
 
+def _serve_intervals(args) -> int:
+    """Resolve --intervals / --duration into monitoring intervals."""
+    if args.intervals is not None:
+        return args.intervals
+    if args.duration is not None:
+        interval_ns = PlatformConfig().interval_ns
+        return max(1, round(args.duration * 1e9 / interval_ns))
+    return 100
+
+
+def _render_fleet_report(report: FleetReport) -> str:
+    totals = [
+        ("devices", report.devices),
+        ("shards", report.shards),
+        ("intervals/device", report.intervals),
+        ("seed", report.seed),
+        ("policy", report.policy),
+        ("kernels backend", report.kernels_backend),
+        ("emitted", report.emitted),
+        ("scored", report.scored),
+        ("skipped", report.skipped),
+        ("dropped", report.dropped),
+        ("flagged", report.flagged),
+        ("alarms", report.alarms),
+        ("block stalls", report.block_stalls),
+        ("devices alarmed", report.devices_alarmed),
+        ("devices attacked", report.devices_attacked),
+        ("attacked devices alarmed", report.attacked_devices_alarmed),
+        ("devices drifted", report.devices_drifted),
+        ("fleet digest", report.fleet_digest[:16]),
+    ]
+    rows = []
+    for dev in report.device_reports:
+        rows.append(
+            [
+                dev.device_id,
+                dev.profile,
+                dev.shard,
+                dev.scenario or "-",
+                dev.scored,
+                dev.skipped,
+                dev.dropped,
+                dev.flagged,
+                dev.alarms,
+                "-" if dev.detection_latency is None else dev.detection_latency,
+                "yes" if dev.drifted else "no",
+                dev.digest[:12],
+            ]
+        )
+    return (
+        format_table(["metric", "value"], totals, title="fleet totals")
+        + "\n\n"
+        + format_table(
+            [
+                "device", "profile", "shard", "scenario", "scored",
+                "skipped", "dropped", "flagged", "alarms", "latency",
+                "drift", "digest",
+            ],
+            rows,
+            title="devices",
+        )
+    )
+
+
+def _cmd_serve(args) -> int:
+    try:
+        fault_plan = _load_fault_plan(args.fault_plan)
+    except _FaultPlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return ExitCode.USAGE
+    profiles = tuple(p for p in args.profiles.split(",") if p)
+    try:
+        config = ServeConfig(
+            devices=args.devices,
+            shards=args.shards,
+            intervals=_serve_intervals(args),
+            policy=args.policy,
+            queue_capacity=args.capacity,
+            batch_size=args.batch,
+            drain_per_step=args.drain_per_step,
+            p_percent=args.quantile,
+            consecutive_for_alarm=args.alarm_consecutive,
+            seed=args.seed,
+            profiles=profiles,
+            attacked_devices=args.attacks,
+            attack_scenarios=tuple(args.scenario or sorted(_SCENARIOS)),
+            train=FleetTrainSpec(
+                runs=args.train_runs,
+                intervals_per_run=args.train_intervals,
+                validation_intervals=args.validation,
+            ),
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+        service = FleetService(config, fault_plan=fault_plan)
+        report = service.run()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return ExitCode.USAGE
+    if args.report_out:
+        report.write(args.report_out)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(_render_fleet_report(report))
+    _obs_finish(
+        args, "serve", seed=args.seed, intervals=config.intervals,
+        devices=config.devices, shards=config.shards,
+    )
+    if report.dropped > 0:
+        print(
+            f"warning: {report.dropped} interval(s) dropped under "
+            f"backpressure (policy={config.policy})",
+            file=sys.stderr,
+        )
+        return ExitCode.SERVE_DEGRADED
+    return ExitCode.OK
+
+
+def _cmd_fleet_report(args) -> int:
+    with open(args.report_json) as fh:
+        payload = json.load(fh)
+    try:
+        report = FleetReport.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(
+            f"error: invalid fleet report {args.report_json}: {exc}",
+            file=sys.stderr,
+        )
+        return ExitCode.USAGE
+    if args.json:
+        print(report.to_json())
+    else:
+        print(_render_fleet_report(report))
+    return ExitCode.OK
+
+
 _HANDLERS = {
     "train": _cmd_train,
     "monitor": _cmd_monitor,
@@ -795,6 +1091,8 @@ _HANDLERS = {
     "cache": _cmd_cache,
     "heatmap": _cmd_heatmap,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
+    "fleet-report": _cmd_fleet_report,
 }
 
 
@@ -808,7 +1106,7 @@ def main(argv=None) -> int:
         return _HANDLERS[args.command](args)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return ExitCode.IO_ERROR
     finally:
         if enabled_here:
             obs.disable()

@@ -47,6 +47,7 @@ KNOWN_SITES = frozenset(
         "stages.fit",  # detector training compute (cache miss path)
         "stages.replay",  # scenario simulation compute (cache miss path)
         "monitor.verdict",  # OnlineMonitor per-interval scoring
+        "serve.score",  # ShardWorker per-record scoring (fleet service)
     }
 )
 

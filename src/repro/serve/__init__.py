@@ -1,0 +1,47 @@
+"""repro.serve — fleet-scale streaming detection service.
+
+The paper's monitor guards one core of one board; this package scales
+it out: N simulated devices (:mod:`repro.sim.fleet`) stream MHM
+intervals into sharded workers that score them in batches through the
+vectorized kernels, behind bounded backpressure queues, with
+per-device drift monitoring against the calibrated θ_p.
+
+Layers (see ``docs/serving.md``):
+
+* :class:`~repro.serve.registry.DetectorRegistry` — profile → trained
+  detector, through the artifact cache;
+* :class:`~repro.serve.router.StreamRouter` — bounded queues, block /
+  drop-oldest backpressure, ``serve.*`` obs counters;
+* :class:`~repro.serve.worker.ShardWorker` — fixed-shape cross-device
+  batch scoring with per-record SKIPPED degradation;
+* :class:`~repro.serve.drift.DriftMonitor` — per-device score
+  quantiles, θ_p recalibration proposals;
+* :class:`~repro.serve.service.FleetService` — the orchestrator
+  behind ``repro serve``; emits a deterministic
+  :class:`~repro.serve.report.FleetReport` that is bit-identical
+  across shard counts.
+"""
+
+from .drift import DriftMonitor, DriftPolicy, DriftStatus
+from .registry import DetectorRegistry, FleetTrainSpec
+from .report import DeviceReport, FleetReport, device_digest
+from .router import POLICIES, StreamRouter
+from .service import FleetService, ServeConfig
+from .worker import ShardWorker, batched_log_densities
+
+__all__ = [
+    "DriftMonitor",
+    "DriftPolicy",
+    "DriftStatus",
+    "DetectorRegistry",
+    "FleetTrainSpec",
+    "DeviceReport",
+    "FleetReport",
+    "device_digest",
+    "POLICIES",
+    "StreamRouter",
+    "FleetService",
+    "ServeConfig",
+    "ShardWorker",
+    "batched_log_densities",
+]

@@ -1,0 +1,153 @@
+"""Detector registry: device → trained :class:`MhmDetector`.
+
+A fleet mixes device *profiles* (named platform configurations from
+:mod:`repro.sim.fleet`); every device of a profile shares one detector
+trained on that profile's normal behaviour.  The registry trains
+detectors lazily through the PR-2 artifact cache
+(:func:`~repro.pipeline.stages.train_detector_cached`), so repeated
+serves of the same fleet configuration load fitted parameters
+bit-identically from disk instead of re-running EM.
+
+Shard workers never train: the parent process resolves every needed
+detector once, exports the fitted parameters with
+:meth:`DetectorRegistry.arrays_payload`, and workers rebuild them via
+:meth:`DetectorRegistry.detectors_from_payload` —
+``MhmDetector.from_arrays(to_arrays(d))`` is bit-exact, so every shard
+scores with numerically identical detectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..learn.detector import MhmDetector
+from ..pipeline.cache import ArtifactCache
+from ..pipeline.stages import (
+    collect_training_data_cached,
+    detector_material,
+    training_material,
+)
+from ..pipeline.stages import train_detector_cached
+from ..sim.fleet import profile_config
+
+__all__ = ["FleetTrainSpec", "DetectorRegistry"]
+
+
+@dataclass(frozen=True)
+class FleetTrainSpec:
+    """Training budget for each profile's detector."""
+
+    runs: int = 2
+    intervals_per_run: int = 80
+    validation_intervals: int = 80
+    num_gaussians: int = 5
+    em_restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.runs < 1 or self.intervals_per_run < 1:
+            raise ValueError("training needs at least one run and interval")
+        if self.validation_intervals < 1:
+            raise ValueError("validation_intervals must be >= 1")
+
+
+def _profile_seeds(root_seed: int, profile: str) -> tuple:
+    """Deterministic (base_seed, detector_seed) for a profile.
+
+    Mixing a hash of the profile name into the ``SeedSequence`` entropy
+    gives every profile independent training streams while staying a
+    pure function of ``(root_seed, profile)`` — the same property the
+    runner relies on for worker-count independence.
+    """
+    tag = int.from_bytes(
+        hashlib.sha256(profile.encode()).digest()[:8], "big"
+    )
+    state = np.random.SeedSequence([root_seed, tag]).generate_state(2, np.uint32)
+    return int(state[0]), int(state[1])
+
+
+class DetectorRegistry:
+    """Lazily trains and memoises one detector per device profile."""
+
+    def __init__(
+        self,
+        root_seed: int = 0,
+        train: FleetTrainSpec = FleetTrainSpec(),
+        cache: Optional[ArtifactCache] = None,
+    ):
+        self.root_seed = root_seed
+        self.train = train
+        self.cache = cache
+        self._detectors: Dict[str, MhmDetector] = {}
+        self.cache_hits = 0
+
+    def detector_for(self, profile: str) -> MhmDetector:
+        detector = self._detectors.get(profile)
+        if detector is None:
+            detector = self._train(profile)
+            self._detectors[profile] = detector
+        return detector
+
+    def detectors(self, profiles: Iterable[str]) -> Dict[str, MhmDetector]:
+        return {profile: self.detector_for(profile) for profile in profiles}
+
+    # -- shard worker hand-off -----------------------------------------
+    def arrays_payload(self, profiles: Iterable[str]) -> Dict[str, dict]:
+        """Fitted parameters per profile, picklable for shard workers."""
+        return {
+            profile: self.detector_for(profile).to_arrays()
+            for profile in sorted(set(profiles))
+        }
+
+    @staticmethod
+    def detectors_from_payload(payload: Dict[str, dict]) -> Dict[str, MhmDetector]:
+        """Rebuild the detectors inside a shard worker (bit-exact)."""
+        return {
+            profile: MhmDetector.from_arrays(arrays)
+            for profile, arrays in payload.items()
+        }
+
+    # -- training ------------------------------------------------------
+    def _train(self, profile: str) -> MhmDetector:
+        config = profile_config(profile)
+        base_seed, detector_seed = _profile_seeds(self.root_seed, profile)
+        spec = self.train
+        detector_kwargs = {
+            "num_gaussians": spec.num_gaussians,
+            "em_restarts": spec.em_restarts,
+            "seed": detector_seed,
+        }
+        train_mat = training_material(
+            config,
+            spec.runs,
+            spec.intervals_per_run,
+            spec.validation_intervals,
+            base_seed,
+        )
+
+        def data_provider():
+            data, hit = collect_training_data_cached(
+                config,
+                runs=spec.runs,
+                intervals_per_run=spec.intervals_per_run,
+                validation_intervals=spec.validation_intervals,
+                base_seed=base_seed,
+                cache=self.cache,
+            )
+            if hit:
+                self.cache_hits += 1
+            return data
+
+        detector, hit = train_detector_cached(
+            data_provider,
+            detector_material(train_mat, detector_kwargs),
+            detector_kwargs,
+            cache=self.cache,
+            fault_token=f"serve:{profile}",
+        )
+        if hit:
+            self.cache_hits += 1
+        return detector

@@ -1,0 +1,127 @@
+"""Bounded-queue stream routing with explicit backpressure.
+
+Each shard worker sits behind a :class:`StreamRouter`: a bounded
+pending queue that batches incoming interval records before handing
+them to the worker's vectorized scorer.  When producers outrun the
+drain budget the queue fills and the configured policy decides what
+gives:
+
+``block``
+    The submitting producer stalls while the router synchronously
+    drains one batch, then the record is enqueued.  Nothing is ever
+    lost (the serve-soak CI job asserts exactly this); the cost is
+    producer latency, surfaced as the ``serve.queue.block_stalls``
+    counter.
+
+``drop-oldest``
+    The oldest pending record is evicted to make room — bounded
+    staleness instead of bounded latency.  Evictions are counted
+    (``serve.queue.dropped``) and reported per device, and the serve
+    CLI exits non-zero when any interval was dropped.
+
+Drain scheduling is deterministic in *simulated* work, not wall
+clock: with the default ``drain_per_step=None`` the router drains a
+full batch as soon as one is pending, so the queue never overflows
+and results are shard-count invariant.  A finite ``drain_per_step``
+models a scoring core that only keeps up with ``m`` records per fleet
+step — the knob the backpressure tests turn to force both policies to
+fire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .. import obs
+from ..sim.fleet import IntervalRecord
+
+__all__ = ["POLICIES", "StreamRouter"]
+
+#: Backpressure policies a router accepts.
+POLICIES = ("block", "drop-oldest")
+
+
+class StreamRouter:
+    """Routes interval records into batched scoring with backpressure."""
+
+    def __init__(
+        self,
+        worker,
+        batch_size: int = 32,
+        capacity: int = 128,
+        policy: str = "block",
+        drain_per_step: Optional[int] = None,
+    ):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; choose from {POLICIES}"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if capacity < batch_size:
+            raise ValueError("capacity must be >= batch_size")
+        if drain_per_step is not None and drain_per_step < 1:
+            raise ValueError("drain_per_step must be >= 1 (or None)")
+        self.worker = worker
+        self.batch_size = batch_size
+        self.capacity = capacity
+        self.policy = policy
+        self.drain_per_step = drain_per_step
+        self.pending: Deque[IntervalRecord] = deque()
+        self.submitted = 0
+        self.dropped = 0
+        self.block_stalls = 0
+        registry = obs.metrics()
+        self._metric_submitted = registry.counter("serve.queue.submitted")
+        self._metric_dropped = registry.counter("serve.queue.dropped")
+        self._metric_stalls = registry.counter("serve.queue.block_stalls")
+        self._metric_depth = registry.gauge("serve.queue.depth")
+        self._metric_batches = registry.counter("serve.batches")
+        self._metric_fill = registry.histogram(
+            "serve.batch_fill", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, record: IntervalRecord) -> None:
+        """Enqueue one record, applying backpressure when full."""
+        if len(self.pending) >= self.capacity:
+            if self.policy == "block":
+                # Producer stalls until the scorer frees a batch of room.
+                self.block_stalls += 1
+                self._metric_stalls.inc()
+                self._drain(self.batch_size)
+            else:  # drop-oldest
+                oldest = self.pending.popleft()
+                self.dropped += 1
+                self._metric_dropped.inc()
+                self.worker.record_dropped(oldest)
+        self.pending.append(record)
+        self.submitted += 1
+        self._metric_submitted.inc()
+        self._metric_depth.set(len(self.pending))
+        if self.drain_per_step is None and len(self.pending) >= self.batch_size:
+            self._drain(self.batch_size)
+
+    def end_step(self) -> None:
+        """Fleet-step boundary: spend the throttled drain budget."""
+        if self.drain_per_step is not None:
+            self._drain(self.drain_per_step)
+
+    def flush(self) -> None:
+        """Score everything still pending (end of run)."""
+        while self.pending:
+            self._drain(self.batch_size)
+
+    # ------------------------------------------------------------------
+    def _drain(self, budget: int) -> None:
+        while budget > 0 and self.pending:
+            take = min(budget, self.batch_size, len(self.pending))
+            batch: List[IntervalRecord] = [
+                self.pending.popleft() for _ in range(take)
+            ]
+            budget -= take
+            self._metric_batches.inc()
+            self._metric_fill.observe(len(batch))
+            self.worker.score_batch(batch)
+        self._metric_depth.set(len(self.pending))

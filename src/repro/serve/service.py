@@ -1,0 +1,199 @@
+"""The fleet service: wiring simulator → router → workers → report.
+
+:class:`FleetService` is the long-running entry point behind
+``repro serve``.  One run:
+
+1. expands ``(devices, seed)`` into deterministic
+   :class:`~repro.sim.fleet.DeviceSpec`\\ s;
+2. resolves every needed profile detector once, in the parent, through
+   the :class:`~repro.serve.registry.DetectorRegistry` (artifact-cache
+   backed) and exports the fitted parameters;
+3. partitions devices across ``shards`` (``index % shards``) and runs
+   each shard — in-process for ``shards == 1``, in a
+   ``ProcessPoolExecutor`` otherwise.  A shard replays its devices'
+   streams, routes records through a bounded backpressure queue, and
+   scores them in fixed-shape cross-device batches;
+4. merges the per-device reports into one :class:`FleetReport`.
+
+Because a device's stream is a pure function of its spec, detectors
+are shipped bit-exactly, and fixed-shape batching makes each record's
+score independent of its batch-mates, the merged report is
+**bit-identical across shard counts** — ``--shards 1`` and
+``--shards 4`` on the same seed produce the same per-device digests
+and the same fleet digest.  (Under a throttled/drop-oldest queue the
+*set of dropped records* is shard-local load shedding and may differ;
+the scores of whatever was scored still match.)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import faults, kernels
+from ..faults.plan import FaultPlan
+from ..pipeline.cache import ArtifactCache
+from ..pipeline.stages import SCENARIOS
+from ..sim.fleet import FleetSimulator, build_fleet_specs
+from .drift import DriftMonitor, DriftPolicy
+from .registry import DetectorRegistry, FleetTrainSpec
+from .report import DeviceReport, FleetReport
+from .router import POLICIES, StreamRouter
+from .worker import ShardWorker
+
+__all__ = ["ServeConfig", "FleetService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that determines a fleet serving run."""
+
+    devices: int = 8
+    shards: int = 1
+    intervals: int = 100
+    policy: str = "block"
+    queue_capacity: int = 128
+    batch_size: int = 32
+    drain_per_step: Optional[int] = None
+    p_percent: float = 1.0
+    consecutive_for_alarm: int = 3
+    seed: int = 0
+    profiles: Tuple[str, ...] = ("baseline", "rtos", "netload")
+    attacked_devices: int = 0
+    attack_scenarios: Tuple[str, ...] = tuple(sorted(SCENARIOS))
+    inject_fraction: float = 0.5
+    train: FleetTrainSpec = field(default_factory=FleetTrainSpec)
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    keep_densities: bool = False
+    drift: DriftPolicy = field(default_factory=DriftPolicy)
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
+        if not 1 <= self.shards <= self.devices:
+            raise ValueError("shards must be in [1, devices]")
+        if self.intervals < 1:
+            raise ValueError("intervals must be >= 1")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {self.policy!r}; "
+                f"choose from {POLICIES}"
+            )
+        if self.consecutive_for_alarm < 1:
+            raise ValueError("consecutive_for_alarm must be >= 1")
+        if not 0 < self.p_percent < 100:
+            raise ValueError("p_percent must be in (0, 100)")
+
+
+def _run_shard(
+    shard_index: int,
+    specs: Sequence,
+    detector_payload: Dict[str, dict],
+    config: ServeConfig,
+    fault_plan: Optional[FaultPlan],
+) -> Tuple[List[DeviceReport], Dict[str, int]]:
+    """One shard's full run (module-level: picklable for worker pools)."""
+    with faults.injected(fault_plan):
+        detectors = DetectorRegistry.detectors_from_payload(detector_payload)
+        worker = ShardWorker(
+            detectors,
+            specs,
+            p_percent=config.p_percent,
+            consecutive_for_alarm=config.consecutive_for_alarm,
+            batch_pad=config.batch_size,
+            drift=DriftMonitor(config.drift),
+        )
+        router = StreamRouter(
+            worker,
+            batch_size=config.batch_size,
+            capacity=config.queue_capacity,
+            policy=config.policy,
+            drain_per_step=config.drain_per_step,
+        )
+        simulator = FleetSimulator(specs)
+        for _ in range(config.intervals):
+            for record in simulator.step():
+                router.submit(record)
+            router.end_step()
+        router.flush()
+        reports = [
+            worker.device_report(
+                spec, shard_index, keep_densities=config.keep_densities
+            )
+            for spec in specs
+        ]
+        stats = {
+            "submitted": router.submitted,
+            "dropped": router.dropped,
+            "block_stalls": router.block_stalls,
+        }
+        return reports, stats
+
+
+class FleetService:
+    """Runs a fleet serving session and produces its report."""
+
+    def __init__(
+        self,
+        config: ServeConfig = ServeConfig(),
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        self.config = config
+        self.fault_plan = fault_plan
+
+    def build_specs(self):
+        config = self.config
+        return build_fleet_specs(
+            devices=config.devices,
+            intervals=config.intervals,
+            root_seed=config.seed,
+            profiles=config.profiles,
+            attacked_devices=config.attacked_devices,
+            attack_scenarios=config.attack_scenarios,
+            inject_fraction=config.inject_fraction,
+        )
+
+    def _cache(self) -> Optional[ArtifactCache]:
+        if not self.config.use_cache:
+            return None
+        return ArtifactCache(self.config.cache_dir)
+
+    def run(self) -> FleetReport:
+        config = self.config
+        specs = self.build_specs()
+        with faults.injected(self.fault_plan):
+            registry = DetectorRegistry(
+                root_seed=config.seed, train=config.train, cache=self._cache()
+            )
+            payload = registry.arrays_payload(spec.profile for spec in specs)
+        shard_specs = [
+            [spec for spec in specs if spec.index % config.shards == shard]
+            for shard in range(config.shards)
+        ]
+        if config.shards == 1:
+            results = [
+                _run_shard(0, specs, payload, config, self.fault_plan)
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=config.shards) as pool:
+                futures = [
+                    pool.submit(
+                        _run_shard, shard, shard_specs[shard], payload,
+                        config, self.fault_plan,
+                    )
+                    for shard in range(config.shards)
+                ]
+                results = [future.result() for future in futures]
+        device_reports: List[DeviceReport] = []
+        block_stalls = 0
+        for reports, stats in results:
+            device_reports.extend(reports)
+            block_stalls += stats["block_stalls"]
+        return FleetReport.build(
+            config=config,
+            device_reports=device_reports,
+            block_stalls=block_stalls,
+            kernels_backend=kernels.active_backend(),
+        )

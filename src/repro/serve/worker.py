@@ -1,0 +1,253 @@
+"""Shard workers: batched scoring of interleaved device streams.
+
+A :class:`ShardWorker` owns a subset of the fleet's devices and scores
+their interval records in cross-device batches through the PR-4
+vectorized kernels — one ``project_batch`` + ``log_density_batch``
+call amortises the GMM density over every record in the batch,
+regardless of which device produced it.
+
+**Fixed-shape batching.** BLAS matrix products are not row-separable:
+``(A[:n] @ B)`` and ``(A @ B)[:n]`` can differ in the last ulp, and
+the difference depends on the batch's *row count*.  Naive cross-device
+batching would therefore make a device's log-densities depend on which
+other records happened to share its batch — breaking the serial ≡
+sharded bit-identity contract.  :func:`batched_log_densities` instead
+pads every batch to a fixed ``pad_to`` row count with zero rows before
+calling the kernels.  At a fixed matrix shape, each row's result is
+independent of the other rows' *contents and order* (verified by the
+serve determinism suite), so every record's score is a pure function
+of its own MHM vector — whatever batch, shard or interleaving it
+arrived through.
+
+Per-record degradation mirrors the single-device
+:class:`~repro.pipeline.monitoring.OnlineMonitor`: an injected
+``serve.score`` fault or a non-finite density degrades that record's
+verdict to SKIPPED and the stream continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import faults, kernels, obs
+from ..learn.detector import MhmDetector
+from ..sim.fleet import DeviceSpec, IntervalRecord
+from .drift import DriftMonitor
+from .report import DeviceReport, device_digest
+
+__all__ = ["batched_log_densities", "DeviceState", "ShardWorker"]
+
+#: Verdict labels recorded per scored interval.
+OK, ANOMALOUS, SKIPPED = "ok", "anomalous", "skipped"
+
+
+def batched_log_densities(
+    detector: MhmDetector, matrix: np.ndarray, pad_to: int = 32
+) -> np.ndarray:
+    """Log-densities for ``matrix`` rows at a fixed kernel batch shape.
+
+    Rows are processed in zero-padded chunks of exactly ``pad_to``
+    rows, so each row's score is bitwise independent of how many real
+    records shared its kernel call.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D batch of MHM vectors")
+    eigen = detector.eigenmemory
+    params = detector.gmm.parameters
+    out = np.empty(len(matrix), dtype=np.float64)
+    for start in range(0, len(matrix), pad_to):
+        chunk = matrix[start : start + pad_to]
+        n = len(chunk)
+        padded = np.zeros((pad_to, matrix.shape[1]), dtype=np.float64)
+        padded[:n] = chunk
+        reduced = kernels.project_batch(padded, eigen.mean_, eigen.components_)
+        densities = kernels.log_density_batch(
+            reduced, params.weights, params.means, params.cholesky_factors
+        )
+        out[start : start + n] = densities[:n]
+    return out
+
+
+@dataclass
+class DeviceState:
+    """Accumulated scoring record for one device on a shard."""
+
+    spec: DeviceSpec
+    interval_indices: List[int] = field(default_factory=list)
+    log_densities: List[float] = field(default_factory=list)
+    flags: List[str] = field(default_factory=list)
+    truths: List[bool] = field(default_factory=list)
+    alarms: List[int] = field(default_factory=list)
+    emitted: int = 0
+    dropped: int = 0
+    streak: int = 0
+
+
+class ShardWorker:
+    """Scores the interval records of one shard's devices."""
+
+    def __init__(
+        self,
+        detectors: Dict[str, MhmDetector],
+        specs: Sequence[DeviceSpec],
+        p_percent: float = 1.0,
+        consecutive_for_alarm: int = 3,
+        batch_pad: int = 32,
+        drift: Optional[DriftMonitor] = None,
+    ):
+        if batch_pad < 1:
+            raise ValueError("batch_pad must be >= 1")
+        self.detectors = detectors
+        self.p_percent = p_percent
+        self.consecutive_for_alarm = consecutive_for_alarm
+        self.batch_pad = batch_pad
+        self.drift = drift if drift is not None else DriftMonitor()
+        self.thetas = {
+            profile: detector.threshold(p_percent)
+            for profile, detector in detectors.items()
+        }
+        self.states: Dict[str, DeviceState] = {
+            spec.device_id: DeviceState(spec=spec) for spec in specs
+        }
+        registry = obs.metrics()
+        self._metric_scored = registry.counter("serve.intervals_scored")
+        self._metric_flagged = registry.counter("serve.intervals_flagged")
+        self._metric_skipped = registry.counter("serve.intervals_skipped")
+        self._metric_alarms = registry.counter("serve.alarms")
+
+    # ------------------------------------------------------------------
+    def score_batch(self, records: Sequence[IntervalRecord]) -> None:
+        """Score one cross-device batch of interval records."""
+        live: List[IntervalRecord] = []
+        for record in records:
+            state = self.states[record.device_id]
+            state.emitted += 1
+            try:
+                fault = faults.check(
+                    "serve.score",
+                    token=f"{record.device_id}@{record.interval_index}",
+                )
+                if fault is not None and fault.mode in ("corrupt", "truncate"):
+                    raise faults.FaultError(
+                        "serve.score", "corrupted MHM interval buffer"
+                    )
+            except Exception:
+                self._skip(state, record)
+                continue
+            live.append(record)
+        if not live:
+            return
+        # Group by profile: each profile scores through its own
+        # detector, in stream order within the batch.
+        by_profile: Dict[str, List[IntervalRecord]] = {}
+        for record in live:
+            by_profile.setdefault(record.profile, []).append(record)
+        for profile, group in by_profile.items():
+            matrix = np.stack([record.vector for record in group])
+            densities = batched_log_densities(
+                self.detectors[profile], matrix, pad_to=self.batch_pad
+            )
+            theta = self.thetas[profile]
+            for record, log_density in zip(group, densities):
+                state = self.states[record.device_id]
+                if not np.isfinite(log_density):
+                    self._skip(state, record)
+                    continue
+                self._record(state, record, float(log_density), theta)
+
+    def record_dropped(self, record: IntervalRecord) -> None:
+        """Account for a record the router evicted (drop-oldest)."""
+        state = self.states[record.device_id]
+        state.emitted += 1
+        state.dropped += 1
+
+    # ------------------------------------------------------------------
+    def _skip(self, state: DeviceState, record: IntervalRecord) -> None:
+        state.interval_indices.append(record.interval_index)
+        state.log_densities.append(float("nan"))
+        state.flags.append(SKIPPED)
+        state.truths.append(record.truth)
+        state.streak = 0
+        self._metric_skipped.inc()
+
+    def _record(
+        self,
+        state: DeviceState,
+        record: IntervalRecord,
+        log_density: float,
+        theta: float,
+    ) -> None:
+        anomalous = log_density < theta
+        state.interval_indices.append(record.interval_index)
+        state.log_densities.append(log_density)
+        state.flags.append(ANOMALOUS if anomalous else OK)
+        state.truths.append(record.truth)
+        self._metric_scored.inc()
+        self.drift.observe(record.device_id, log_density)
+        if anomalous:
+            self._metric_flagged.inc()
+            state.streak += 1
+            if state.streak == self.consecutive_for_alarm:
+                state.alarms.append(record.interval_index)
+                self._metric_alarms.inc()
+        else:
+            state.streak = 0
+
+    # ------------------------------------------------------------------
+    def device_report(
+        self, spec: DeviceSpec, shard: int, keep_densities: bool = False
+    ) -> DeviceReport:
+        """Roll one device's state up into its report entry."""
+        state = self.states[spec.device_id]
+        theta = self.thetas[spec.profile]
+        status = self.drift.status(spec.device_id, theta, self.p_percent)
+        scored = sum(1 for flag in state.flags if flag != SKIPPED)
+        skipped = sum(1 for flag in state.flags if flag == SKIPPED)
+        flagged = sum(1 for flag in state.flags if flag == ANOMALOUS)
+        true_pos = sum(
+            1
+            for flag, truth in zip(state.flags, state.truths)
+            if flag == ANOMALOUS and truth
+        )
+        false_pos = flagged - true_pos
+        attack_intervals = sum(state.truths)
+        benign_intervals = scored + skipped - attack_intervals
+        first_alarm = state.alarms[0] if state.alarms else None
+        latency = None
+        if spec.inject_interval is not None:
+            for alarm in state.alarms:
+                if alarm >= spec.inject_interval:
+                    latency = alarm - spec.inject_interval
+                    break
+        return DeviceReport(
+            device_id=spec.device_id,
+            device_index=spec.index,
+            profile=spec.profile,
+            shard=shard,
+            scenario=spec.scenario,
+            inject_interval=spec.inject_interval,
+            emitted=state.emitted,
+            scored=scored,
+            skipped=skipped,
+            dropped=state.dropped,
+            flagged=flagged,
+            alarms=len(state.alarms),
+            first_alarm_interval=first_alarm,
+            detection_latency=latency,
+            true_positives=true_pos,
+            false_positives=false_pos,
+            attack_intervals=attack_intervals,
+            benign_intervals=benign_intervals,
+            drifted=status.drifted,
+            drift_observed_rate=status.observed_rate,
+            drift_expected_rate=status.expected_rate,
+            suggested_threshold=status.suggested_threshold,
+            digest=device_digest(
+                state.interval_indices, state.log_densities, state.flags
+            ),
+            log_densities=list(state.log_densities) if keep_densities else None,
+        )

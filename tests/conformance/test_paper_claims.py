@@ -1,0 +1,127 @@
+"""Paper-conformance suite: the headline claims as executable checks.
+
+Each test quotes a claim from *Memory Heat Map: Anomaly Detection in
+Real-Time Embedded Systems Using Memory Behavior* (DAC 2015) and pins
+it on the quick-scale reference pipeline.  These are the repo's
+contract with the paper: if a refactor breaks one, the reproduction no
+longer says what the paper says.
+
+The suite is ``slow``-marked (it trains the reference detector and
+replays all three attack scenarios) and runs in the CI full-tests job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learn.metrics import roc_auc_from_scores
+from repro.pipeline.experiments import (
+    run_app_launch_experiment,
+    run_rootkit_experiment,
+    run_shellcode_experiment,
+)
+from repro.pipeline.training import collect_training_data
+from repro.sim.platform import PlatformConfig
+
+pytestmark = [pytest.mark.slow, pytest.mark.conformance]
+
+
+@pytest.fixture(scope="module")
+def app_launch(quick_artifacts):
+    return run_app_launch_experiment(quick_artifacts)
+
+
+@pytest.fixture(scope="module")
+def shellcode(quick_artifacts):
+    return run_shellcode_experiment(quick_artifacts)
+
+
+@pytest.fixture(scope="module")
+def rootkit(quick_artifacts):
+    return run_rootkit_experiment(quick_artifacts)
+
+
+class TestEigenmemoryDimensionality:
+    """Section 5.2: "L′ ranged from 9 to 16 eigen-memories" while
+    retaining the targeted variance of the ~1,472-dimensional MHM."""
+
+    def test_automatic_l_prime_in_paper_band(self, quick_detector):
+        assert 9 <= quick_detector.num_eigenmemories_ <= 16
+
+    def test_retained_variance_explains_at_least_90_percent(
+        self, quick_detector
+    ):
+        assert quick_detector.eigenmemory.retained_variance_ >= 0.90
+        # The implementation targets the paper's stricter 99.99 %.
+        assert quick_detector.eigenmemory.retained_variance_ >= 0.9999
+
+    def test_subspace_is_a_drastic_reduction(self, quick_detector):
+        ambient = quick_detector.eigenmemory.mean_.shape[0]
+        assert quick_detector.num_eigenmemories_ <= ambient // 20
+
+
+class TestThresholdCalibration:
+    """Section 5.2: θ_p is the p-percentile of validation densities, so
+    the benign flag rate should track p.  We budget 2·p for sampling
+    noise (the "FPR ≤ 2·(1−p)" conformance bound)."""
+
+    @pytest.mark.parametrize("p_percent", [0.5, 1.0])
+    def test_calibration_set_fpr_within_twice_budget(
+        self, quick_detector, quick_artifacts, p_percent
+    ):
+        scores = quick_detector.score_series(quick_artifacts.data.validation)
+        theta = quick_detector.threshold(p_percent)
+        fpr = float(np.mean(scores < theta))
+        assert fpr <= 2.0 * (p_percent / 100.0)
+
+    def test_fresh_normal_run_fpr_stays_low(self, quick_detector):
+        """An unseen benign boot: the flag rate must stay near the
+        budget (loose bound — one fresh run is 120 Bernoulli draws)."""
+        fresh = collect_training_data(
+            PlatformConfig(),
+            runs=1,
+            intervals_per_run=120,
+            validation_intervals=1,
+            base_seed=4242,
+        )
+        scores = quick_detector.score_series(fresh.training)
+        theta = quick_detector.threshold(1.0)
+        assert float(np.mean(scores < theta)) <= 0.05
+
+    def test_thresholds_monotone_in_p(self, quick_detector):
+        assert quick_detector.threshold(0.5) <= quick_detector.threshold(1.0)
+
+
+class TestAttackDetectionRates:
+    """Sections 5.3–5.4: all three attacks perturb the MHM stream
+    enough to detect, at scenario-dependent strength."""
+
+    def test_app_launch_detected(self, app_launch):
+        """Figure 7: the qsort launch is flagged promptly and the
+        active window is detected at a solid rate."""
+        assert app_launch.attack_detection_rate(1.0) >= 0.35
+        assert 0 <= app_launch.detection_latency_intervals(1.0) <= 5
+        assert app_launch.pre_attack_fpr(1.0) <= 0.05
+
+    def test_shellcode_detected_immediately_and_persistently(self, shellcode):
+        """Figure 8: the host task never comes back; detection is
+        immediate and the majority of post-attack intervals stay
+        flagged."""
+        assert shellcode.attack_detection_rate(1.0) >= 0.5
+        assert 0 <= shellcode.detection_latency_intervals(1.0) <= 2
+        assert shellcode.pre_attack_fpr(1.0) <= 0.05
+
+    def test_rootkit_load_event_detected(self, rootkit):
+        """Figures 9–10: the LKM load is caught even though the
+        steady-state hijack is only intermittently visible."""
+        load = rootkit.scenario.attack_interval
+        flags = rootkit.flags(1.0)
+        assert flags[load] or flags[load + 1]
+        assert rootkit.attack_detection_rate(1.0) >= 0.03
+
+    def test_scores_rank_attack_intervals_below_normal(self, app_launch):
+        """The density score is a usable ranking signal, not just a
+        thresholded bit: AUC against ground truth stays high."""
+        auc = roc_auc_from_scores(
+            -app_launch.log10_densities, app_launch.ground_truth
+        )
+        assert auc >= 0.80

@@ -8,15 +8,25 @@ integration/ suites.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import settings as _hypothesis_settings
 
 from repro.core.spec import HeatMapSpec
 
-# Shared CI runners miss per-example deadlines on cold numpy/BLAS
-# paths; selected via HYPOTHESIS_PROFILE=ci in the workflow.
-_hypothesis_settings.register_profile("ci", deadline=None)
+# Pinned hypothesis profiles — flake hardening.  "ci" digs deeper and
+# is derandomized so every CI run explores the identical example
+# sequence (a red run reproduces locally with HYPOTHESIS_PROFILE=ci);
+# deadline=None because shared runners miss per-example deadlines on
+# cold numpy/BLAS paths.  "dev" keeps the edit-test loop fast.  The
+# active profile is selected via HYPOTHESIS_PROFILE (default dev).
+_hypothesis_settings.register_profile(
+    "ci", max_examples=200, deadline=None, derandomize=True
+)
+_hypothesis_settings.register_profile("dev", max_examples=25, deadline=None)
+_hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.pipeline.experiments import QUICK_SCALE, get_reference_artifacts
 from repro.sim.kernel.layout import KernelLayout
 from repro.sim.platform import Platform, PlatformConfig

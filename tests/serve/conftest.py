@@ -1,0 +1,54 @@
+"""Serve-suite fixtures: tiny fleets over a shared artifact cache.
+
+Every test in this package trains profile detectors at a deliberately
+tiny :class:`FleetTrainSpec` through one session-scoped on-disk cache,
+so the first test pays the EM cost per profile and the rest load the
+fitted parameters bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline.cache import ArtifactCache
+from repro.serve import FleetTrainSpec, ServeConfig
+
+TINY_TRAIN = FleetTrainSpec(
+    runs=1, intervals_per_run=40, validation_intervals=40, em_restarts=1
+)
+
+
+@pytest.fixture(scope="session")
+def serve_cache_dir(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("serve-cache"))
+
+
+@pytest.fixture(scope="session")
+def serve_cache(serve_cache_dir) -> ArtifactCache:
+    return ArtifactCache(serve_cache_dir)
+
+
+@pytest.fixture(scope="session")
+def base_config(serve_cache_dir) -> ServeConfig:
+    """A small but fully-featured fleet: 4 devices, 3 profiles, 2 attacked."""
+    return ServeConfig(
+        devices=4,
+        shards=1,
+        intervals=8,
+        seed=11,
+        attacked_devices=2,
+        train=TINY_TRAIN,
+        cache_dir=serve_cache_dir,
+    )
+
+
+@pytest.fixture()
+def config_factory(base_config):
+    """``config_factory(shards=2, ...)`` — the base config, overridden."""
+
+    def factory(**overrides) -> ServeConfig:
+        return dataclasses.replace(base_config, **overrides)
+
+    return factory

@@ -1,0 +1,89 @@
+"""DriftMonitor: windowing, flag conditions, θ_p recalibration proposal."""
+
+import numpy as np
+import pytest
+
+from repro.serve.drift import DriftMonitor, DriftPolicy
+
+
+def feed(monitor, device, values):
+    for value in values:
+        monitor.observe(device, value)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window=0),
+            dict(min_samples=0),
+            dict(rate_factor=0.5),
+            dict(min_excess=1.5),
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftPolicy(**kwargs)
+
+
+class TestDriftVerdicts:
+    def test_no_verdict_below_min_samples(self):
+        monitor = DriftMonitor(DriftPolicy(min_samples=40))
+        feed(monitor, "dev", [-10.0] * 10)
+        status = monitor.status("dev", theta=-20.0, p_percent=1.0)
+        assert not status.drifted
+        assert status.observed_rate is None
+        assert status.suggested_threshold is None
+        assert status.samples == 10
+
+    def test_healthy_device_not_flagged(self):
+        monitor = DriftMonitor(DriftPolicy(min_samples=40))
+        # 1% of intervals below theta: exactly the calibrated budget.
+        values = [-10.0] * 99 + [-30.0]
+        feed(monitor, "dev", values)
+        status = monitor.status("dev", theta=-20.0, p_percent=1.0)
+        assert not status.drifted
+        assert status.observed_rate == pytest.approx(0.01)
+        assert status.expected_rate == pytest.approx(0.01)
+
+    def test_sustained_shift_flagged_with_recalibration(self):
+        monitor = DriftMonitor(DriftPolicy(min_samples=40))
+        # 20% of the window now scores below theta — 20x the budget.
+        values = [-10.0] * 80 + [-30.0] * 20
+        feed(monitor, "dev", values)
+        status = monitor.status("dev", theta=-20.0, p_percent=1.0)
+        assert status.drifted
+        assert status.observed_rate == pytest.approx(0.20)
+        expected_theta = float(np.quantile(np.asarray(values), 0.01))
+        assert status.suggested_threshold == pytest.approx(expected_theta)
+        # Recalibrated theta admits the shifted distribution.
+        below = np.mean(np.asarray(values) < status.suggested_threshold)
+        assert below <= 0.05
+
+    def test_small_excess_within_factor_not_flagged(self):
+        monitor = DriftMonitor(
+            DriftPolicy(min_samples=40, rate_factor=3.0, min_excess=0.02)
+        )
+        # 2% observed vs 1% expected: above budget but under both the
+        # 3x factor and the absolute +2% margin — a sampling blip.
+        values = [-10.0] * 98 + [-30.0] * 2
+        feed(monitor, "dev", values)
+        status = monitor.status("dev", theta=-20.0, p_percent=1.0)
+        assert not status.drifted
+
+    def test_window_is_bounded(self):
+        monitor = DriftMonitor(DriftPolicy(window=50, min_samples=10))
+        # Old anomalous scores age out of the window.
+        feed(monitor, "dev", [-30.0] * 50)
+        feed(monitor, "dev", [-10.0] * 50)
+        assert monitor.samples("dev") == 50
+        status = monitor.status("dev", theta=-20.0, p_percent=1.0)
+        assert status.observed_rate == 0.0
+        assert not status.drifted
+
+    def test_devices_tracked_independently(self):
+        monitor = DriftMonitor(DriftPolicy(min_samples=10))
+        feed(monitor, "bad", [-30.0] * 20)
+        feed(monitor, "good", [-10.0] * 20)
+        assert monitor.status("bad", theta=-20.0, p_percent=1.0).drifted
+        assert not monitor.status("good", theta=-20.0, p_percent=1.0).drifted

@@ -1,0 +1,159 @@
+"""StreamRouter: batching, backpressure policies, obs counters."""
+
+import pytest
+
+from repro import obs
+from repro.serve.router import POLICIES, StreamRouter
+from repro.sim.fleet import IntervalRecord
+
+
+class StubWorker:
+    """Records batches instead of scoring them."""
+
+    def __init__(self):
+        self.batches = []
+        self.dropped = []
+
+    def score_batch(self, records):
+        self.batches.append(list(records))
+
+    def record_dropped(self, record):
+        self.dropped.append(record)
+
+
+def make_record(i: int) -> IntervalRecord:
+    return IntervalRecord(
+        device_index=0,
+        device_id="dev-0000",
+        profile="baseline",
+        interval_index=i,
+        vector=None,
+        truth=False,
+    )
+
+
+class TestValidation:
+    def test_policies_tuple(self):
+        assert POLICIES == ("block", "drop-oldest")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(policy="bogus"),
+            dict(batch_size=0),
+            dict(batch_size=8, capacity=4),
+            dict(drain_per_step=0),
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamRouter(StubWorker(), **kwargs)
+
+
+class TestDefaultDraining:
+    def test_drains_full_batches_eagerly(self):
+        worker = StubWorker()
+        router = StreamRouter(worker, batch_size=4, capacity=16)
+        for i in range(10):
+            router.submit(make_record(i))
+        # Two full batches scored as soon as they filled; 2 left pending.
+        assert [len(b) for b in worker.batches] == [4, 4]
+        assert len(router.pending) == 2
+        router.flush()
+        assert [len(b) for b in worker.batches] == [4, 4, 2]
+        assert router.pending == type(router.pending)()
+
+    def test_records_arrive_in_order(self):
+        worker = StubWorker()
+        router = StreamRouter(worker, batch_size=3, capacity=8)
+        for i in range(7):
+            router.submit(make_record(i))
+        router.flush()
+        flat = [r.interval_index for batch in worker.batches for r in batch]
+        assert flat == list(range(7))
+
+    def test_queue_never_overflows(self):
+        worker = StubWorker()
+        router = StreamRouter(worker, batch_size=4, capacity=4)
+        for i in range(100):
+            router.submit(make_record(i))
+        assert router.dropped == 0
+        assert router.block_stalls == 0
+
+
+class TestThrottledBlock:
+    def test_block_policy_stalls_and_drops_nothing(self):
+        worker = StubWorker()
+        router = StreamRouter(
+            worker, batch_size=4, capacity=4, policy="block", drain_per_step=1
+        )
+        for i in range(12):
+            router.submit(make_record(i))
+        router.flush()
+        assert router.block_stalls > 0
+        assert router.dropped == 0
+        flat = [r.interval_index for batch in worker.batches for r in batch]
+        assert flat == list(range(12))
+
+
+class TestThrottledDropOldest:
+    def test_evicts_oldest_first(self):
+        worker = StubWorker()
+        router = StreamRouter(
+            worker, batch_size=4, capacity=4, policy="drop-oldest",
+            drain_per_step=1,
+        )
+        for i in range(8):
+            router.submit(make_record(i))
+        router.flush()
+        assert router.dropped == len(worker.dropped) > 0
+        dropped = [r.interval_index for r in worker.dropped]
+        # The oldest pending records went first.
+        assert dropped == sorted(dropped)
+        scored = [r.interval_index for batch in worker.batches for r in batch]
+        assert set(scored) | set(dropped) == set(range(8))
+        assert not set(scored) & set(dropped)
+
+    def test_end_step_spends_drain_budget(self):
+        worker = StubWorker()
+        router = StreamRouter(
+            worker, batch_size=4, capacity=8, policy="drop-oldest",
+            drain_per_step=2,
+        )
+        for i in range(4):
+            router.submit(make_record(i))
+        assert worker.batches == []  # throttled: nothing drained on submit
+        router.end_step()
+        assert [len(b) for b in worker.batches] == [2]
+
+
+class TestObsCounters:
+    def test_serve_queue_counters_surface(self):
+        with obs.observed():
+            worker = StubWorker()
+            router = StreamRouter(
+                worker, batch_size=2, capacity=2, policy="drop-oldest",
+                drain_per_step=1,
+            )
+            for i in range(6):
+                router.submit(make_record(i))
+            router.flush()
+            snapshot = obs.metrics().snapshot()
+        assert snapshot["serve.queue.submitted"]["value"] == 6
+        assert snapshot["serve.queue.dropped"]["value"] == router.dropped > 0
+        assert snapshot["serve.batches"]["value"] == len(worker.batches)
+
+    def test_block_stall_counter(self):
+        with obs.observed():
+            router = StreamRouter(
+                StubWorker(), batch_size=2, capacity=2, policy="block",
+                drain_per_step=1,
+            )
+            for i in range(6):
+                router.submit(make_record(i))
+            snapshot = obs.metrics().snapshot()
+        assert (
+            snapshot["serve.queue.block_stalls"]["value"]
+            == router.block_stalls
+            > 0
+        )

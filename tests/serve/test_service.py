@@ -1,0 +1,170 @@
+"""FleetService: the serial ≡ sharded contract and the report schema."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.serve import FleetReport, FleetService, ServeConfig
+from repro.serve.report import device_digest
+
+
+@pytest.fixture(scope="module")
+def serial_report(base_config):
+    return FleetService(base_config).run()
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_canonical_report_bit_identical(
+        self, serial_report, config_factory, shards
+    ):
+        """--shards 1 and --shards K on the same seed agree bitwise:
+        same per-device digests, same fleet digest, same counts."""
+        sharded = FleetService(config_factory(shards=shards)).run()
+        assert sharded.canonical_dict() == serial_report.canonical_dict()
+
+    def test_digests_cover_every_device(self, serial_report, base_config):
+        sequences = serial_report.verdict_sequences
+        assert len(sequences) == base_config.devices
+        assert all(len(d) == 64 for d in sequences.values())
+
+    def test_shard_partition_is_modular(self, config_factory):
+        report = FleetService(config_factory(shards=2)).run()
+        for dev in report.device_reports:
+            assert dev.shard == dev.device_index % 2
+
+
+class TestAccounting:
+    def test_nothing_lost_under_default_drain(self, serial_report, base_config):
+        assert serial_report.emitted == (
+            base_config.devices * base_config.intervals
+        )
+        assert serial_report.dropped == 0
+        assert serial_report.emitted == (
+            serial_report.scored + serial_report.skipped
+        )
+
+    def test_drop_oldest_accounting_invariant(self, config_factory):
+        report = FleetService(
+            config_factory(
+                policy="drop-oldest", queue_capacity=8, batch_size=4,
+                drain_per_step=2,
+            )
+        ).run()
+        assert report.dropped > 0
+        assert report.emitted == (
+            report.scored + report.skipped + report.dropped
+        )
+        per_device = sum(d.dropped for d in report.device_reports)
+        assert per_device == report.dropped
+
+    def test_block_policy_never_drops(self, config_factory):
+        report = FleetService(
+            config_factory(
+                policy="block", queue_capacity=8, batch_size=4,
+                drain_per_step=2,
+            )
+        ).run()
+        assert report.dropped == 0
+        assert report.block_stalls > 0
+        assert report.emitted == report.scored + report.skipped
+
+
+class TestFaultDegradation:
+    def test_serve_score_faults_degrade_and_stay_shard_invariant(
+        self, config_factory
+    ):
+        plan = faults.FaultPlan(
+            seed=5,
+            sites={
+                "serve.score": faults.FaultSpec(
+                    probability=0.3, mode="corrupt"
+                )
+            },
+        )
+        serial = FleetService(config_factory(), fault_plan=plan).run()
+        sharded = FleetService(
+            config_factory(shards=2), fault_plan=plan
+        ).run()
+        assert serial.skipped > 0
+        # Fault decisions hash (seed, site, device@interval): the same
+        # records degrade regardless of shard placement.
+        assert sharded.canonical_dict() == serial.canonical_dict()
+
+
+class TestAttackDetection:
+    def test_attacked_devices_alarm(self, config_factory):
+        """With a long enough window the attacked devices alarm and
+        report finite detection latency; benign devices stay quiet."""
+        # consecutive_for_alarm=1: at this tiny training scale the
+        # post-attack density drop is intermittent (the dead task's
+        # intervals interleave with still-normal ones), so alarm on
+        # the first flagged interval; streak semantics are unit-tested
+        # in test_worker.py.
+        report = FleetService(
+            config_factory(
+                devices=2, intervals=24, attacked_devices=1,
+                attack_scenarios=("shellcode",), profiles=("baseline",),
+                seed=4, consecutive_for_alarm=1,
+            )
+        ).run()
+        attacked = [d for d in report.device_reports if d.scenario]
+        benign = [d for d in report.device_reports if not d.scenario]
+        assert len(attacked) == 1 and len(benign) == 1
+        assert attacked[0].alarms >= 1
+        assert attacked[0].detection_latency is not None
+        assert attacked[0].detection_latency <= 6
+        assert benign[0].alarms == 0
+        assert report.attacked_devices_alarmed == 1
+
+
+class TestReportSchema:
+    def test_json_round_trip(self, serial_report, tmp_path):
+        path = tmp_path / "fleet.json"
+        serial_report.write(path)
+        loaded = FleetReport.load(path)
+        assert loaded.to_dict() == serial_report.to_dict()
+        assert loaded.fleet_digest == serial_report.fleet_digest
+
+    def test_unsupported_schema_rejected(self, serial_report):
+        payload = serial_report.to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            FleetReport.from_dict(payload)
+
+    def test_report_is_json_serializable(self, serial_report):
+        json.dumps(serial_report.to_dict())
+
+    def test_device_digest_sensitive_to_everything(self):
+        base = device_digest([0, 1], [-1.5, -2.5], ["ok", "ok"])
+        assert device_digest([0, 2], [-1.5, -2.5], ["ok", "ok"]) != base
+        assert device_digest([0, 1], [-1.5, -2.6], ["ok", "ok"]) != base
+        assert (
+            device_digest([0, 1], [-1.5, -2.5], ["ok", "anomalous"]) != base
+        )
+
+    def test_rates(self, serial_report):
+        for dev in serial_report.device_reports:
+            if dev.benign_intervals:
+                assert 0.0 <= dev.false_positive_rate <= 1.0
+            if dev.attack_intervals:
+                assert 0.0 <= dev.detection_rate <= 1.0
+
+
+class TestServeConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(devices=0),
+            dict(devices=2, shards=3),
+            dict(shards=0),
+            dict(intervals=0),
+            dict(policy="bogus"),
+            dict(consecutive_for_alarm=0),
+            dict(p_percent=0.0),
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)

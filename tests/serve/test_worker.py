@@ -1,0 +1,122 @@
+"""ShardWorker: fixed-shape batch scoring and per-record degradation."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.serve.registry import DetectorRegistry
+from repro.serve.worker import ShardWorker, batched_log_densities
+from repro.sim.fleet import DeviceSpec, DeviceStream, IntervalRecord, build_fleet_specs
+from tests.serve.conftest import TINY_TRAIN
+
+
+@pytest.fixture(scope="module")
+def detector(serve_cache):
+    registry = DetectorRegistry(root_seed=3, train=TINY_TRAIN, cache=serve_cache)
+    return registry.detector_for("baseline")
+
+
+@pytest.fixture(scope="module")
+def records():
+    """Nine real MHM records from one benign baseline device."""
+    spec = build_fleet_specs(1, 9, root_seed=21, profiles=("baseline",))[0]
+    stream = DeviceStream(spec)
+    return [stream.next_interval() for _ in range(9)]
+
+
+def make_worker(detector, specs, **kwargs):
+    return ShardWorker({"baseline": detector}, specs, **kwargs)
+
+
+class TestFixedShapeBatching:
+    def test_score_independent_of_batch_composition(self, detector, records):
+        """The serial ≡ sharded keystone: a record's log-density is
+        bitwise identical whether scored alone, in a partial batch, or
+        in a full batch with arbitrary companions."""
+        matrix = np.stack([r.vector for r in records])
+        together = batched_log_densities(detector, matrix, pad_to=4)
+        for i, row in enumerate(matrix):
+            alone = batched_log_densities(detector, row[None, :], pad_to=4)
+            assert alone[0] == together[i]
+
+    def test_row_order_irrelevant(self, detector, records):
+        matrix = np.stack([r.vector for r in records])
+        forward = batched_log_densities(detector, matrix, pad_to=4)
+        backward = batched_log_densities(detector, matrix[::-1], pad_to=4)
+        np.testing.assert_array_equal(forward, backward[::-1])
+
+    def test_matches_unbatched_scoring_closely(self, detector, records):
+        # Same kernels, different batch shapes: equal to rounding.
+        matrix = np.stack([r.vector for r in records])
+        batched = batched_log_densities(detector, matrix, pad_to=4)
+        reference = detector.score_series(matrix)
+        np.testing.assert_allclose(batched, reference, rtol=1e-9, atol=1e-9)
+
+    def test_rejects_non_matrix(self, detector):
+        with pytest.raises(ValueError, match="2-D"):
+            batched_log_densities(detector, np.zeros(8))
+
+
+class TestWorkerScoring:
+    def test_verdicts_and_accounting(self, detector, records):
+        spec = records[0].device_index
+        specs = build_fleet_specs(1, 9, root_seed=21, profiles=("baseline",))
+        worker = make_worker(detector, specs, batch_pad=4)
+        worker.score_batch(records[:5])
+        worker.score_batch(records[5:])
+        report = worker.device_report(specs[0], shard=0)
+        assert report.emitted == 9
+        assert report.scored + report.skipped == 9
+        assert report.dropped == 0
+        assert spec == report.device_index
+
+    def test_alarm_streak_semantics(self):
+        """Alarm fires at exactly N consecutive anomalous intervals."""
+
+        class FakeDetector:
+            def threshold(self, p_percent):
+                return -5.0
+
+        spec = DeviceSpec(device_id="d", index=0, profile="baseline", seed=1)
+        worker = ShardWorker(
+            {"baseline": FakeDetector()}, [spec], consecutive_for_alarm=3
+        )
+        state = worker.states["d"]
+        theta = -5.0
+        # 3 anomalous in a row (alarm), recovery, then only 2 (no alarm).
+        pattern = [-10, -10, -10, -1, -10, -10, -1]
+        for i, score in enumerate(pattern):
+            record = IntervalRecord(
+                device_index=0, device_id="d", profile="baseline",
+                interval_index=i, vector=None, truth=False,
+            )
+            worker._record(state, record, float(score), theta)
+        assert state.alarms == [2]  # fired once, at the third consecutive
+        report = worker.device_report(spec, shard=0)
+        assert report.alarms == 1
+        assert report.first_alarm_interval == 2
+        assert report.flagged == 5
+
+    def test_fault_plan_degrades_to_skipped(self, detector, records):
+        specs = build_fleet_specs(1, 9, root_seed=21, profiles=("baseline",))
+        plan = faults.FaultPlan(
+            seed=1,
+            sites={
+                "serve.score": faults.FaultSpec(probability=1.0, mode="corrupt")
+            },
+        )
+        with faults.injected(plan):
+            worker = make_worker(detector, specs, batch_pad=4)
+            worker.score_batch(records)
+        report = worker.device_report(specs[0], shard=0)
+        assert report.skipped == 9
+        assert report.scored == 0
+
+    def test_skip_resets_alarm_streak(self, detector, records):
+        specs = build_fleet_specs(1, 9, root_seed=21, profiles=("baseline",))
+        worker = make_worker(detector, specs, batch_pad=4)
+        state = worker.states[specs[0].device_id]
+        state.streak = 2
+        worker._skip(state, records[0])
+        assert state.streak == 0
+        assert state.flags[-1] == "skipped"

@@ -417,3 +417,152 @@ class TestExperimentsFaultFlags:
         code = main(["experiments", *self.TINY, "--fault-plan", str(plan)])
         capsys.readouterr()
         assert code == 2
+
+
+class TestExitCodeEnum:
+    """ExitCode is the single source of truth; values are frozen API."""
+
+    def test_enum_values_are_stable(self):
+        from repro.cli import ExitCode
+
+        assert ExitCode.OK == 0
+        assert ExitCode.IO_ERROR == 1
+        assert ExitCode.USAGE == 2
+        assert ExitCode.ALARM == 3
+        assert ExitCode.JOB_FAILURES == 4
+        assert ExitCode.BENCH_REGRESSION == 5
+        assert ExitCode.SERVE_DEGRADED == 6
+        assert len(ExitCode) == 7
+
+    def test_legacy_aliases_point_at_the_enum(self):
+        from repro import cli
+
+        assert cli.EXIT_OK is cli.ExitCode.OK
+        assert cli.EXIT_USAGE is cli.ExitCode.USAGE
+        assert cli.EXIT_ALARM is cli.ExitCode.ALARM
+        assert cli.EXIT_JOB_FAILURES is cli.ExitCode.JOB_FAILURES
+        assert cli.EXIT_BENCH_REGRESSION is cli.ExitCode.BENCH_REGRESSION
+        assert cli.EXIT_SERVE_DEGRADED is cli.ExitCode.SERVE_DEGRADED
+
+    def test_every_documented_code_is_in_the_docstring_table(self):
+        """The module docstring documents each exit code it defines."""
+        import repro.cli as cli
+
+        for member in cli.ExitCode:
+            assert f"``{member.value}``" in cli.__doc__, member
+
+    def test_codes_are_ints_for_sys_exit(self):
+        from repro.cli import ExitCode
+
+        for member in ExitCode:
+            assert isinstance(int(member), int)
+            assert 0 <= member.value < 128
+
+
+class TestServeCommand:
+    TINY = [
+        "serve", "--devices", "3", "--intervals", "6", "--seed", "11",
+        "--train-runs", "1", "--train-intervals", "40",
+        "--validation", "40",
+    ]
+
+    def _run(self, extra, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        code = main([*self.TINY, "--cache-dir", cache, *extra])
+        return code, capsys.readouterr()
+
+    def test_serve_exits_ok_and_renders_tables(self, tmp_path, capsys):
+        code, captured = self._run([], tmp_path, capsys)
+        assert code == EXIT_OK
+        assert "fleet totals" in captured.out
+        assert "dev-0000" in captured.out
+
+    def test_serve_writes_report_and_fleet_report_renders_it(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "fleet.json"
+        code, _ = self._run(["--report-out", str(out)], tmp_path, capsys)
+        assert code == EXIT_OK
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == 1
+        assert payload["devices"] == 3
+        assert payload["dropped"] == 0
+        code = main(["fleet-report", str(out)])
+        captured = capsys.readouterr()
+        assert code == EXIT_OK
+        assert "fleet digest" in captured.out
+
+    def test_serve_json_output(self, tmp_path, capsys):
+        code, captured = self._run(["--json"], tmp_path, capsys)
+        assert code == EXIT_OK
+        payload = json.loads(captured.out)
+        assert payload["emitted"] == 18
+        assert len(payload["device_reports"]) == 3
+
+    def test_drop_policy_under_throttle_exits_degraded(
+        self, tmp_path, capsys
+    ):
+        code, captured = self._run(
+            [
+                "--policy", "drop-oldest", "--capacity", "4",
+                "--batch", "4", "--drain-per-step", "1",
+            ],
+            tmp_path, capsys,
+        )
+        from repro.cli import ExitCode
+
+        assert code == ExitCode.SERVE_DEGRADED
+        assert "dropped under" in captured.err
+
+    def test_block_policy_under_throttle_exits_ok(self, tmp_path, capsys):
+        code, _ = self._run(
+            [
+                "--policy", "block", "--capacity", "4", "--batch", "4",
+                "--drain-per-step", "1",
+            ],
+            tmp_path, capsys,
+        )
+        assert code == EXIT_OK
+
+    def test_duration_maps_to_intervals(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--duration", "0.5"])
+        from repro.cli import _serve_intervals
+
+        assert _serve_intervals(args) == 50  # 10 ms cadence
+
+    def test_bad_profile_is_usage_error(self, tmp_path, capsys):
+        code, captured = self._run(
+            ["--profiles", "baseline,bogus"], tmp_path, capsys
+        )
+        assert code == 2
+        assert "unknown device profile" in captured.err
+
+    def test_more_shards_than_devices_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        code, captured = self._run(["--shards", "9"], tmp_path, capsys)
+        assert code == 2
+
+    def test_bad_fault_plan_is_usage_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"sites": {"not.a.site": {"mode": "raise"}}}))
+        code, captured = self._run(
+            ["--fault-plan", str(plan)], tmp_path, capsys
+        )
+        assert code == 2
+        assert "invalid fault plan" in captured.err
+
+    def test_missing_fleet_report_is_io_error(self, capsys):
+        code = main(["fleet-report", "ghost.json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+
+    def test_invalid_fleet_report_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 99, "device_reports": []}))
+        code = main(["fleet-report", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid fleet report" in captured.err

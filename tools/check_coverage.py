@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Coverage gate: enforce per-package line-coverage floors.
+
+Reads the JSON report produced by ``pytest --cov ...
+--cov-report=json:coverage.json`` and enforces two floors:
+
+* ``src/repro/serve/`` — the serving subsystem must stay at or above
+  **85 %** aggregate line coverage (a hard requirement of its PR);
+* the rest of ``src/repro/`` — must never regress below the captured
+  baseline in ``tools/coverage_baseline.json``.
+
+Run ``python tools/check_coverage.py coverage.json --update-baseline``
+to ratchet the baseline up after a coverage improvement (review the
+diff like any other change; the baseline may only go up).
+
+Exit codes: 0 = both gates pass, 1 = a gate failed or the report is
+unreadable.  Kept dependency-free (stdlib only) so the gate itself
+needs nothing beyond the JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SERVE_PREFIX = "src/repro/serve/"
+SERVE_FLOOR = 85.0
+BASELINE_PATH = pathlib.Path(__file__).parent / "coverage_baseline.json"
+
+
+def aggregate(files: dict, predicate) -> tuple:
+    covered = statements = 0
+    for path, entry in files.items():
+        normalized = path.replace("\\", "/")
+        if predicate(normalized):
+            summary = entry["summary"]
+            covered += summary["covered_lines"]
+            statements += summary["num_statements"]
+    percent = 100.0 * covered / statements if statements else 100.0
+    return percent, covered, statements
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="coverage.json produced by pytest-cov")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite tools/coverage_baseline.json from this report "
+        "(only ever raises the floor)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = json.loads(pathlib.Path(args.report).read_text())
+        files = report["files"]
+    except (OSError, KeyError, json.JSONDecodeError) as exc:
+        print(f"coverage gate: unreadable report {args.report}: {exc}")
+        return 1
+
+    serve_pct, serve_cov, serve_stmts = aggregate(
+        files, lambda p: SERVE_PREFIX in p
+    )
+    rest_pct, rest_cov, rest_stmts = aggregate(
+        files, lambda p: SERVE_PREFIX not in p and "src/repro/" in p
+    )
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    rest_floor = float(baseline["rest_of_repro_percent"])
+
+    if args.update_baseline:
+        new_floor = max(rest_floor, round(rest_pct, 1))
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "comment": baseline.get("comment", ""),
+                    "rest_of_repro_percent": new_floor,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline: rest-of-repro floor {rest_floor} -> {new_floor}")
+
+    print(
+        f"coverage src/repro/serve/ : {serve_pct:5.1f}% "
+        f"({serve_cov}/{serve_stmts} lines, floor {SERVE_FLOOR}%)"
+    )
+    print(
+        f"coverage rest of src/repro: {rest_pct:5.1f}% "
+        f"({rest_cov}/{rest_stmts} lines, floor {rest_floor}%)"
+    )
+
+    failed = False
+    if serve_stmts == 0:
+        print("coverage gate: no src/repro/serve/ files in the report")
+        failed = True
+    if serve_pct < SERVE_FLOOR:
+        print(f"coverage gate FAILED: serve below {SERVE_FLOOR}%")
+        failed = True
+    if rest_pct < rest_floor:
+        print(f"coverage gate FAILED: rest of repro below baseline {rest_floor}%")
+        failed = True
+    if not failed:
+        print("coverage gate passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
