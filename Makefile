@@ -23,6 +23,7 @@ COVFLAGS := $(shell $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1 \
 # Tests marked @pytest.mark.slow (exhaustive sweeps, end-to-end monitor
 # runs) are skipped here; `make test` and CI's full job still run them.
 test-fast:
+	$(PYTHON) tools/check_log_schema.py src
 	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m "not slow" -W "error:::repro" $(COVFLAGS)
 ifneq ($(COVFLAGS),)
 	$(PYTHON) tools/check_coverage.py coverage.json

@@ -30,14 +30,19 @@ Python — the workflow a deployment would actually script:
     # pretty-print a metrics manifest written with --metrics-out
     python -m repro.cli stats metrics.json
 
-Observability: ``train``, ``monitor`` and ``attack`` accept
-``--trace PATH`` (Chrome trace-event JSON of simulator events —
+Observability: ``train``, ``monitor``, ``attack``, ``experiments``
+and ``serve`` accept ``--trace PATH`` (Chrome trace-event JSON —
 open in chrome://tracing or https://ui.perfetto.dev; a ``.jsonl``
-extension selects the line-delimited stream instead) and
+extension selects the line-delimited stream instead),
 ``--metrics-out PATH`` (a run manifest with config, seeds, versions
-and a metrics snapshot).  Either flag enables :mod:`repro.obs` for the
-command.  ``monitor``/``heatmap`` also take ``--json`` for
-machine-readable output on stdout.
+and a metrics snapshot) and ``--log PATH`` (schema-versioned
+structured JSON log lines; see ``docs/observability.md``).  Any of
+these flags enables :mod:`repro.obs` for the command.  ``serve``
+additionally takes ``--metrics-dir``/``--metrics-interval`` (periodic
+per-shard OpenMetrics snapshot files — the feed for ``repro top``)
+and ``--health-out`` (a readiness summary asserted by CI).
+``monitor``/``heatmap`` also take ``--json`` for machine-readable
+output on stdout.
 
 Exit codes (stable; scripts may rely on them):
 
@@ -87,7 +92,15 @@ from .pipeline.runner import ExperimentRunner, JobFailedError, build_grid_jobs
 from .pipeline.scenario import ScenarioRunner
 from .pipeline.stages import SCENARIOS as _SCENARIOS
 from .pipeline.training import collect_training_data, train_detector
-from .serve import FleetReport, FleetService, FleetTrainSpec, ServeConfig
+from .serve import (
+    SERVE_TRACE_CATEGORIES,
+    FleetReport,
+    FleetService,
+    FleetTrainSpec,
+    ServeConfig,
+    TelemetryConfig,
+    write_health,
+)
 from .serve.router import POLICIES as _POLICIES
 from .sim.platform import Platform, PlatformConfig
 from .viz.ascii import render_heatmap, render_series
@@ -155,6 +168,12 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "--metrics-out",
         metavar="PATH",
         help="write a run manifest (config, seed, version, host, metrics)",
+    )
+    parser.add_argument(
+        "--log",
+        metavar="PATH",
+        help="write structured JSON log lines (schema-versioned events; "
+        "see docs/observability.md)",
     )
 
 
@@ -427,6 +446,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full fleet report JSON on stdout",
     )
+    serve.add_argument(
+        "--metrics-dir", metavar="DIR",
+        help="write periodic per-shard metrics snapshots (JSON + "
+        "OpenMetrics text) into DIR — the feed for `repro top`",
+    )
+    serve.add_argument(
+        "--metrics-interval", type=int, default=100, metavar="STEPS",
+        help="fleet steps between metrics snapshots (default 100)",
+    )
+    serve.add_argument(
+        "--health-out", metavar="PATH",
+        help="write a health/readiness summary JSON after the run",
+    )
     _add_obs_arguments(serve)
 
     fleet_report = sub.add_parser(
@@ -444,6 +476,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("metrics_json", help="manifest / metrics snapshot JSON file")
 
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a serve run's --metrics-dir "
+        "snapshot files",
+    )
+    top.add_argument(
+        "metrics_dir", help="snapshot directory a `serve --metrics-dir` writes"
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (CI-friendly)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default 2s)",
+    )
+    top.add_argument(
+        "--width", type=int, default=100, help="frame width (default 100)"
+    )
+
     return parser
 
 
@@ -451,14 +503,19 @@ def build_parser() -> argparse.ArgumentParser:
 # Observability plumbing
 # ----------------------------------------------------------------------
 def _obs_requested(args) -> bool:
-    return bool(getattr(args, "trace", None) or getattr(args, "metrics_out", None))
+    return bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "log", None)
+        or getattr(args, "metrics_dir", None)
+    )
 
 
 def _check_output_paths(args) -> None:
     """Fail before the run, not after it: artefact dirs must exist."""
     import os
 
-    for attr in ("trace", "metrics_out"):
+    for attr in ("trace", "metrics_out", "log", "health_out"):
         path = getattr(args, attr, None)
         if path:
             parent = os.path.dirname(path) or "."
@@ -941,7 +998,29 @@ def _cmd_stats(args) -> int:
         snapshot = data["metrics"]
     else:
         snapshot = data
+    service_rows = _service_counter_rows(snapshot)
+    if service_rows:
+        print(
+            format_table(
+                ["counter", "value"],
+                service_rows,
+                title="service counters (serve.*/runner.*)",
+            )
+        )
+        print()
     print(format_metrics(snapshot))
+    return EXIT_OK
+
+
+def _cmd_top(args) -> int:
+    from .viz.top import run_top
+
+    run_top(
+        args.metrics_dir,
+        once=args.once,
+        interval=args.interval,
+        width=args.width,
+    )
     return EXIT_OK
 
 
@@ -1009,6 +1088,29 @@ def _render_fleet_report(report: FleetReport) -> str:
     )
 
 
+def _service_counter_rows(snapshot: dict) -> list:
+    """``serve.*`` / ``runner.*`` counters from a metrics snapshot."""
+    rows = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        if data.get("type") != "counter":
+            continue
+        family = data.get("family", name)
+        if family.startswith(("serve.", "runner.")):
+            rows.append([name, data.get("value", 0)])
+    return rows
+
+
+def _render_telemetry_footer(snapshot: dict) -> str:
+    """The fleet report's service-counter footer (empty when no obs)."""
+    rows = _service_counter_rows(snapshot)
+    if not rows:
+        return ""
+    return format_table(
+        ["counter", "value"], rows, title="service telemetry (serve.*/runner.*)"
+    )
+
+
 def _cmd_serve(args) -> int:
     try:
         fault_plan = _load_fault_plan(args.fault_plan)
@@ -1039,17 +1141,38 @@ def _cmd_serve(args) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
         )
-        service = FleetService(config, fault_plan=fault_plan)
+        telemetry = TelemetryConfig.from_current(
+            metrics_dir=args.metrics_dir,
+            metrics_interval=args.metrics_interval,
+        )
+        service = FleetService(
+            config, fault_plan=fault_plan, telemetry=telemetry
+        )
         report = service.run()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return ExitCode.USAGE
     if args.report_out:
         report.write(args.report_out)
+    if args.health_out:
+        summary = write_health(args.health_out, report)
+        if not summary["ready"]:
+            failing = ", ".join(
+                c["name"] for c in summary["checks"] if not c["ok"]
+            )
+            print(
+                f"warning: health NOT ready (failing: {failing}) "
+                f"-> {args.health_out}",
+                file=sys.stderr,
+            )
     if args.json:
         print(report.to_json())
     else:
         print(_render_fleet_report(report))
+        footer = _render_telemetry_footer(obs.metrics().snapshot())
+        if footer:
+            print()
+            print(footer)
     _obs_finish(
         args, "serve", seed=args.seed, intervals=config.intervals,
         devices=config.devices, shards=config.shards,
@@ -1093,6 +1216,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "fleet-report": _cmd_fleet_report,
+    "top": _cmd_top,
 }
 
 
@@ -1102,7 +1226,15 @@ def main(argv=None) -> int:
     try:
         _check_output_paths(args)
         if enabled_here:
-            obs.enable()
+            # serve restricts the tracer to fleet-layer categories so a
+            # long soak's trace stays bounded; single-device commands
+            # keep the full simulator event stream.
+            categories = (
+                SERVE_TRACE_CATEGORIES if args.command == "serve" else None
+            )
+            obs.enable(trace_categories=categories)
+            if getattr(args, "log", None):
+                obs.logger().add_sink(obs.FileSink(args.log))
         return _HANDLERS[args.command](args)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)

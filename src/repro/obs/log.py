@@ -1,0 +1,364 @@
+"""Structured logging: schema-versioned JSON event lines.
+
+The serving stack needs logs a machine can aggregate across a fleet —
+``grep alarm`` does not scale to millions of devices.  Every log line
+here is one JSON object with a fixed envelope::
+
+    {"schema": 1, "seq": 17, "event": "serve.alarm", "component":
+     "serve", "level": "warn", "device_id": "dev-0003", "shard": 1,
+     "sim_time_ns": 420000000, "seed": 2015, "trace_id": "…",
+     "span_id": "…", "fields": {"interval": 42, "streak": 3}}
+
+Three rules keep the layer deterministic and cheap:
+
+* **registered events only** — every event name is declared once in
+  :data:`EVENTS` with its allowed field set; ``tools/check_log_schema.py``
+  statically checks call sites and :meth:`StructuredLogger.event`
+  re-checks at runtime, so the log schema cannot drift silently;
+* **no wall clock in the record** — timestamps are *simulated* time
+  (``sim_time_ns``), so two runs of the same seed produce byte-equal
+  logs (the telemetry determinism suite asserts this);
+* **no-op twin** — like the metrics registry and tracer, a disabled
+  logger is a shared do-nothing singleton; an instrumented call site
+  pays one bound-method call.
+
+Sinks: a bounded :class:`RingBufferSink` is always attached (it backs
+``repro top``'s alarm stream and the shard→parent merge) and a
+:class:`FileSink` streams JSONL to disk (CLI ``--log PATH``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "LOG_SCHEMA_VERSION",
+    "LEVELS",
+    "CONTEXT_KEYS",
+    "EventSpec",
+    "EVENTS",
+    "register_event",
+    "RingBufferSink",
+    "FileSink",
+    "StructuredLogger",
+    "NoopLogger",
+    "NOOP_LOGGER",
+]
+
+#: Version stamped on every record; bump on envelope changes.
+LOG_SCHEMA_VERSION = 1
+
+#: Severity levels, least to most severe.
+LEVELS = ("debug", "info", "warn", "error")
+
+#: Envelope context keys accepted by every event (all optional).  They
+#: identify *where* in the fleet a record came from; per-event payload
+#: goes in ``fields`` and must be declared in the event's spec.
+CONTEXT_KEYS = ("device_id", "shard", "sim_time_ns", "seed")
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One registered event: its component and allowed field names."""
+
+    name: str
+    component: str
+    fields: frozenset
+    description: str = ""
+
+
+#: name → spec for every event the codebase may emit.
+EVENTS: Dict[str, EventSpec] = {}
+
+
+def register_event(
+    name: str,
+    component: str,
+    fields: Iterable[str] = (),
+    description: str = "",
+) -> EventSpec:
+    """Declare an event name and its field set (idempotent re-register
+    with an identical spec; conflicting re-register raises)."""
+    spec = EventSpec(
+        name=name,
+        component=component,
+        fields=frozenset(fields),
+        description=description,
+    )
+    existing = EVENTS.get(name)
+    if existing is not None and existing != spec:
+        raise ValueError(f"event {name!r} already registered with a different spec")
+    EVENTS[name] = spec
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: deque = deque(maxlen=capacity)
+
+    def emit(self, record: dict) -> None:
+        self._records.append(record)
+
+    def records(
+        self, event: Optional[str] = None, events: Optional[Iterable[str]] = None
+    ) -> List[dict]:
+        """Buffered records, optionally filtered by event name(s)."""
+        if event is not None:
+            return [r for r in self._records if r.get("event") == event]
+        if events is not None:
+            wanted = set(events)
+            return [r for r in self._records if r.get("event") in wanted]
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class FileSink:
+    """Streams records as JSON lines; flushed per record so ``tail -f``
+    (and ``repro top``) see events as they happen."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "w")
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=False))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# Logger
+# ----------------------------------------------------------------------
+class StructuredLogger:
+    """Emits schema-versioned JSON records to every attached sink."""
+
+    enabled = True
+
+    def __init__(self, ring_capacity: int = 4096):
+        self.ring = RingBufferSink(ring_capacity)
+        self.sinks: List = [self.ring]
+        self.seq = 0
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        event: str,
+        *,
+        level: str = "info",
+        device_id: Optional[str] = None,
+        shard: Optional[int] = None,
+        sim_time_ns: Optional[int] = None,
+        seed: Optional[int] = None,
+        trace=None,
+        **fields,
+    ) -> dict:
+        """Emit one event record; returns the record emitted.
+
+        ``event`` must be registered (:func:`register_event`) and every
+        keyword in ``fields`` must be declared in its spec — the same
+        contract ``tools/check_log_schema.py`` enforces statically.
+        ``trace`` accepts a :class:`~repro.obs.context.TraceContext`
+        and is flattened into ``trace_id``/``span_id``/``parent_id``.
+        """
+        spec = EVENTS.get(event)
+        if spec is None:
+            raise ValueError(f"unregistered log event {event!r}")
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+        unknown = set(fields) - spec.fields
+        if unknown:
+            raise ValueError(
+                f"event {event!r} does not declare field(s) {sorted(unknown)}; "
+                f"declared: {sorted(spec.fields)}"
+            )
+        record: dict = {
+            "schema": LOG_SCHEMA_VERSION,
+            "seq": self.seq,
+            "event": event,
+            "component": spec.component,
+            "level": level,
+        }
+        self.seq += 1
+        if device_id is not None:
+            record["device_id"] = device_id
+        if shard is not None:
+            record["shard"] = shard
+        if sim_time_ns is not None:
+            record["sim_time_ns"] = sim_time_ns
+        if seed is not None:
+            record["seed"] = seed
+        if trace is not None:
+            record["trace_id"] = trace.trace_id
+            record["span_id"] = trace.span_id
+            if trace.parent_id is not None:
+                record["parent_id"] = trace.parent_id
+        if fields:
+            record["fields"] = fields
+        for sink in self.sinks:
+            sink.emit(record)
+        return record
+
+    def emit_record(self, record: dict) -> None:
+        """Replay a pre-built record (shard → parent telemetry merge).
+
+        The record keeps its original ``seq``/``shard`` so merged logs
+        stay attributable; no validation is repeated — the emitting
+        process already enforced the schema.
+        """
+        for sink in self.sinks:
+            sink.emit(record)
+
+    # ------------------------------------------------------------------
+    def records(
+        self, event: Optional[str] = None, events: Optional[Iterable[str]] = None
+    ) -> List[dict]:
+        """The ring buffer's view (most recent records, bounded)."""
+        return self.ring.records(event=event, events=events)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+
+class NoopLogger:
+    """Do-nothing twin handed out while logging is disabled."""
+
+    enabled = False
+    seq = 0
+
+    def add_sink(self, sink) -> None:
+        pass
+
+    def event(self, event, **kwargs) -> dict:
+        return {}
+
+    def emit_record(self, record: dict) -> None:
+        pass
+
+    def records(self, event=None, events=None) -> List[dict]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The module-level disabled logger (shared singleton).
+NOOP_LOGGER = NoopLogger()
+
+
+# ----------------------------------------------------------------------
+# Event registry — every event the codebase emits, in one place.
+# docs/observability.md renders this table; tools/check_log_schema.py
+# checks call sites against it.
+# ----------------------------------------------------------------------
+register_event(
+    "serve.start", "serve",
+    ("devices", "shards", "intervals", "policy", "batch_size"),
+    "a fleet serving run begins",
+)
+register_event(
+    "serve.detectors.ready", "serve",
+    ("profiles", "cache_hits"),
+    "every profile detector is trained/loaded; the fleet can score",
+)
+register_event(
+    "serve.shard.start", "serve",
+    ("devices",),
+    "one shard worker starts replaying its device streams",
+)
+register_event(
+    "serve.shard.done", "serve",
+    ("submitted", "dropped", "block_stalls"),
+    "one shard worker finished its streams",
+)
+register_event(
+    "serve.queue.drop", "serve",
+    ("interval", "depth"),
+    "drop-oldest backpressure evicted a pending record",
+)
+register_event(
+    "serve.queue.stall", "serve",
+    ("depth",),
+    "block backpressure stalled a producer while a batch drained",
+)
+register_event(
+    "serve.score.skip", "serve",
+    ("interval", "reason"),
+    "a record's verdict degraded to SKIPPED (fault or non-finite density)",
+)
+register_event(
+    "serve.alarm", "serve",
+    ("interval", "streak"),
+    "K consecutive sub-θ intervals raised a device alarm",
+)
+register_event(
+    "serve.drift.flag", "serve",
+    ("observed_rate", "expected_rate", "suggested_threshold", "samples"),
+    "a device's sub-θ rate exceeded the drift policy budget",
+)
+register_event(
+    "serve.report.ready", "serve",
+    ("devices", "alarms", "dropped", "fleet_digest"),
+    "the merged fleet report was built",
+)
+register_event(
+    "serve.health", "serve",
+    ("status", "ready", "phase"),
+    "a health/readiness summary was produced",
+)
+register_event(
+    "runner.grid.start", "runner",
+    ("jobs", "workers"),
+    "the experiment runner starts a grid",
+)
+register_event(
+    "runner.grid.done", "runner",
+    ("completed", "failed", "retries"),
+    "the experiment runner finished a grid",
+)
+register_event(
+    "runner.job.retry", "runner",
+    ("job", "attempt", "error"),
+    "a grid job failed an attempt and will be retried",
+)
+register_event(
+    "runner.job.failed", "runner",
+    ("job", "attempts", "error"),
+    "a grid job exhausted its retries (lands in the failure manifest)",
+)
+register_event(
+    "runner.job.completed", "runner",
+    ("job", "attempts"),
+    "a grid job completed",
+)

@@ -1,0 +1,159 @@
+"""OpenMetrics / Prometheus text exposition for metric snapshots.
+
+Converts a :meth:`~repro.obs.registry.MetricsRegistry.snapshot` into
+the OpenMetrics text format, so the fleet service's periodic snapshot
+files can be scraped, diffed, or loaded into any Prometheus-compatible
+tool without a client-library dependency (the container deliberately
+has none).
+
+Mapping rules:
+
+* metric names are prefixed (default ``repro_``) and sanitised — dots
+  and other illegal characters become underscores, so the counter
+  ``serve.queue.dropped`` exports as ``repro_serve_queue_dropped``;
+* counters gain the mandated ``_total`` suffix;
+* labelled family children (``name{shard="0"}`` registry keys) are
+  regrouped under one exposition family with proper label sets;
+* histograms export cumulative ``_bucket{le="…"}`` series (OpenMetrics
+  buckets are cumulative; the registry's are per-bucket) plus
+  ``_sum`` / ``_count``, and estimated quantiles ride along as a
+  ``_p50/_p95/_p99`` gauge family — Prometheus summaries are
+  client-computed too, so exporting them is idiomatic;
+* the exposition ends with the required ``# EOF`` marker.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["render_openmetrics", "write_openmetrics"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABELED = re.compile(r"^(?P<family>[^{]+)\{(?P<labels>.*)\}$")
+_LABEL_PAIR = re.compile(r'(?P<key>[^=,]+)="(?P<value>[^"]*)"')
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_OK.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _split_name(name: str, data: dict) -> Tuple[str, Dict[str, str]]:
+    """Resolve a snapshot key into (family, labels)."""
+    labels = data.get("labels")
+    family = data.get("family")
+    if family and labels is not None:
+        return family, dict(labels)
+    match = _LABELED.match(name)
+    if match:
+        parsed = {
+            m.group("key"): m.group("value")
+            for m in _LABEL_PAIR.finditer(match.group("labels"))
+        }
+        return match.group("family"), parsed
+    return name, {}
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(k)}="{_escape_label(str(merged[k]))}"' for k in sorted(merged)
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_openmetrics(snapshot: dict, prefix: str = "repro") -> str:
+    """The snapshot as OpenMetrics text (ends with ``# EOF``)."""
+    families: Dict[str, List[Tuple[Dict[str, str], dict]]] = {}
+    kinds: Dict[str, str] = {}
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        family, labels = _split_name(name, data)
+        families.setdefault(family, []).append((labels, data))
+        kinds[family] = data.get("type", "untyped")
+
+    lines: List[str] = []
+    for family in sorted(families):
+        kind = kinds[family]
+        metric = f"{_sanitize(prefix)}_{_sanitize(family)}" if prefix else _sanitize(family)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            for labels, data in families[family]:
+                lines.append(
+                    f"{metric}_total{_label_str(labels)} "
+                    f"{_format_value(data.get('value', 0))}"
+                )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            for labels, data in families[family]:
+                lines.append(
+                    f"{metric}{_label_str(labels)} "
+                    f"{_format_value(data.get('value', 0.0))}"
+                )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            for labels, data in families[family]:
+                cumulative = 0
+                for bucket in data.get("buckets", []):
+                    cumulative += int(bucket.get("count", 0))
+                    le = bucket.get("le")
+                    le_text = "+Inf" if le == "inf" else _format_value(float(le))
+                    lines.append(
+                        f"{metric}_bucket{_label_str(labels, {'le': le_text})} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{metric}_sum{_label_str(labels)} "
+                    f"{_format_value(float(data.get('total', 0.0)))}"
+                )
+                lines.append(
+                    f"{metric}_count{_label_str(labels)} "
+                    f"{int(data.get('count', 0))}"
+                )
+            quantile_rows = [
+                (labels, data)
+                for labels, data in families[family]
+                if data.get("quantiles")
+            ]
+            if quantile_rows:
+                qmetric = f"{metric}_quantile"
+                lines.append(f"# TYPE {qmetric} gauge")
+                for labels, data in quantile_rows:
+                    for pname in sorted(data["quantiles"]):
+                        lines.append(
+                            f"{qmetric}"
+                            f"{_label_str(labels, {'quantile': pname})} "
+                            f"{_format_value(float(data['quantiles'][pname]))}"
+                        )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path, snapshot: dict, prefix: str = "repro") -> None:
+    with open(path, "w") as fh:
+        fh.write(render_openmetrics(snapshot, prefix=prefix))

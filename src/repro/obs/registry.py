@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import random
 import time
 from typing import Dict, Optional, Sequence, Union
 
@@ -34,10 +35,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Span",
+    "MetricFamily",
     "MetricsRegistry",
     "NoopMetricsRegistry",
     "NOOP_METRICS",
     "DEFAULT_TIME_BUCKETS_US",
+    "DEFAULT_RESERVOIR_SIZE",
+    "log_buckets",
+    "labeled_name",
 ]
 
 #: Default histogram buckets for wall-clock timings, in microseconds.
@@ -64,16 +69,48 @@ DEFAULT_TIME_BUCKETS_US = (
     100_000_000.0,
 )
 
+#: Raw observations retained per histogram for quantile estimation;
+#: beyond this, reservoir sampling keeps a uniform subsample so memory
+#: stays flat over arbitrarily long soaks (regression-tested).
+DEFAULT_RESERVOIR_SIZE = 512
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 4) -> tuple:
+    """Geometric bucket bounds from ``lo`` to at least ``hi``.
+
+    ``per_decade`` bounds per power of ten — the standard shape for
+    latency histograms, where relative (not absolute) resolution
+    matters.  Example: ``log_buckets(10, 1e6, 2)`` → 10, ~31.6, 100 …
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    factor = 10.0 ** (1.0 / per_decade)
+    bounds = [float(lo)]
+    while bounds[-1] < hi:
+        bounds.append(bounds[-1] * factor)
+    return tuple(bounds)
+
+
+def labeled_name(family: str, labels: Dict[str, object]) -> str:
+    """The registry key for a family child: ``name{k="v",...}``, keys
+    sorted so the encoding (and snapshot order) is deterministic."""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{family}{{{inner}}}"
+
 
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels", "family")
     enabled = True
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self.labels: Optional[dict] = None
+        self.family: Optional[str] = None
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -81,24 +118,34 @@ class Counter:
         self.value += amount
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        data = {"type": "counter", "value": self.value}
+        if self.labels is not None:
+            data["labels"] = dict(self.labels)
+            data["family"] = self.family
+        return data
 
 
 class Gauge:
     """A point-in-time value (queue depth, budget, best likelihood)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels", "family")
     enabled = True
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self.labels: Optional[dict] = None
+        self.family: Optional[str] = None
 
     def set(self, value: float) -> None:
         self.value = value
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        data = {"type": "gauge", "value": self.value}
+        if self.labels is not None:
+            data["labels"] = dict(self.labels)
+            data["family"] = self.family
+        return data
 
 
 class Histogram:
@@ -108,14 +155,32 @@ class Histogram:
     bucket (``le = inf``) catches everything above the last bound.
     An observation lands in the first bucket whose bound is >= the
     value.  Bounds are sorted at construction.
+
+    For quantile *estimation* (p50/p95/p99 in ``repro top`` and the
+    OpenMetrics snapshots) a bounded reservoir of raw observations is
+    kept alongside the buckets: exact below
+    :data:`DEFAULT_RESERVOIR_SIZE` observations, a uniform Algorithm-R
+    subsample beyond it — so memory stays flat over week-long soaks.
+    The reservoir RNG is private (seeded from the metric name) and
+    never touches numpy's or the simulator's random state.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "count", "total", "min", "max",
+        "reservoir_size", "_samples", "_rng", "labels", "family",
+    )
     enabled = True
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_US):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_US,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+    ):
         if not buckets:
             raise ValueError("histogram needs at least one bucket bound")
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
         self.name = name
         self.bounds = tuple(sorted(float(b) for b in buckets))
         if len(set(self.bounds)) != len(self.bounds):
@@ -125,6 +190,11 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.reservoir_size = reservoir_size
+        self._samples: list = []
+        self._rng: Optional[random.Random] = None
+        self.labels: Optional[dict] = None
+        self.family: Optional[str] = None
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
@@ -134,6 +204,19 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        # Reservoir (Algorithm R): keep every observation until the
+        # reservoir fills, then replace a uniform-random slot with
+        # probability size/count — an unbiased fixed-memory subsample.
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+        else:
+            if self._rng is None:
+                # Seeded from the name (sha512 under the hood), so the
+                # subsample is process-independent and hash-seed-proof.
+                self._rng = random.Random(self.name)
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> float:
@@ -154,8 +237,33 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) else math.inf
         return math.inf
 
+    def estimate_quantile(self, q: float) -> float:
+        """Best-effort q-quantile from the raw-sample reservoir.
+
+        Exact while ``count <= reservoir_size``; an unbiased estimate
+        after.  Falls back to the bucket approximation for histograms
+        reconstructed without samples (e.g. merged shard snapshots).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._samples:
+            return self.quantile(q)
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        # Linear interpolation between closest ranks.
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> dict:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` via the reservoir."""
+        return {f"p{round(q * 100)}": self.estimate_quantile(q) for q in qs}
+
     def snapshot(self) -> dict:
-        return {
+        data = {
             "type": "histogram",
             "count": self.count,
             "total": self.total,
@@ -168,6 +276,12 @@ class Histogram:
             ]
             + [{"le": "inf", "count": self.bucket_counts[-1]}],
         }
+        if self.count:
+            data["quantiles"] = self.quantiles()
+        if self.labels is not None:
+            data["labels"] = dict(self.labels)
+            data["family"] = self.family
+        return data
 
 
 class Span:
@@ -196,6 +310,39 @@ class Span:
 Instrument = Union[Counter, Gauge, Histogram]
 
 
+class MetricFamily:
+    """A named metric with labels: ``family.labels(shard="0")`` hands
+    out (and memoises) one child instrument per label combination.
+
+    Children live in the owning registry under the encoded name
+    ``name{k="v",...}`` so one :meth:`MetricsRegistry.snapshot` call
+    exports every labelled series, and the OpenMetrics writer can group
+    them back into a single exposition family.
+    """
+
+    def __init__(self, registry, name, label_names, factory, kind):
+        self.registry = registry
+        self.name = name
+        self.label_names = tuple(sorted(label_names))
+        if not self.label_names:
+            raise ValueError("a metric family needs at least one label name")
+        self._factory = factory
+        self._kind = kind
+
+    def labels(self, **labels) -> Instrument:
+        if tuple(sorted(labels)) != self.label_names:
+            raise ValueError(
+                f"family {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = labeled_name(self.name, labels)
+        instrument = self.registry._get(key, lambda: self._factory(key), self._kind)
+        if instrument.labels is None:
+            instrument.labels = {k: str(v) for k, v in labels.items()}
+            instrument.family = self.name
+        return instrument
+
+
 class MetricsRegistry:
     """Named instruments plus a one-call JSON-able snapshot."""
 
@@ -203,6 +350,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._instruments: Dict[str, Instrument] = {}
+        self._families: Dict[str, MetricFamily] = {}
 
     def _get(self, name: str, factory, kind: type) -> Instrument:
         instrument = self._instruments.get(name)
@@ -235,6 +383,37 @@ class MetricsRegistry:
         """``with registry.span("train.pca"): ...`` — times the block."""
         return Span(self.timer(name))
 
+    # -- labelled families ---------------------------------------------
+    def _family(self, name, label_names, factory, kind) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(self, name, label_names, factory, kind)
+            self._families[name] = family
+        elif family._kind is not kind or family.label_names != tuple(
+            sorted(label_names)
+        ):
+            raise TypeError(
+                f"family {name!r} already registered as "
+                f"{family._kind.__name__}{family.label_names}"
+            )
+        return family
+
+    def counter_family(self, name: str, label_names: Sequence[str]) -> MetricFamily:
+        return self._family(name, label_names, Counter, Counter)
+
+    def gauge_family(self, name: str, label_names: Sequence[str]) -> MetricFamily:
+        return self._family(name, label_names, Gauge, Gauge)
+
+    def histogram_family(
+        self,
+        name: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_US,
+    ) -> MetricFamily:
+        return self._family(
+            name, label_names, lambda key: Histogram(key, buckets), Histogram
+        )
+
     def names(self) -> list:
         return sorted(self._instruments)
 
@@ -247,6 +426,58 @@ class MetricsRegistry:
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
         }
+
+    # -- cross-process merge -------------------------------------------
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The serving layer runs shard workers in separate processes;
+        each returns its final snapshot and the parent merges them here
+        so ``--metrics-out`` manifests (and ``repro stats``) see the
+        whole fleet.  Counters add, gauges take the incoming value
+        (last write wins), histograms merge bucket-by-bucket.  The
+        raw-sample reservoir does not cross the process boundary, so
+        merged histogram quantiles degrade to the bucket approximation.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                instrument = self.counter(name)
+                instrument.inc(int(data.get("value", 0)))
+            elif kind == "gauge":
+                instrument = self.gauge(name)
+                instrument.set(data.get("value", 0.0))
+            elif kind == "histogram":
+                incoming = data.get("buckets") or []
+                bounds = tuple(
+                    entry["le"] for entry in incoming if entry["le"] != "inf"
+                )
+                instrument = self.histogram(
+                    name, bounds or DEFAULT_TIME_BUCKETS_US
+                )
+                if bounds and instrument.bounds != tuple(
+                    float(b) for b in bounds
+                ):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ across "
+                        "snapshots; cannot merge"
+                    )
+                counts = [entry["count"] for entry in incoming]
+                # ``buckets`` lists every bound once plus the overflow
+                # entry; fold both into our (len(bounds)+1)-wide counts.
+                for i, n in enumerate(counts[: len(instrument.bucket_counts)]):
+                    instrument.bucket_counts[i] += int(n)
+                instrument.count += int(data.get("count", 0))
+                instrument.total += float(data.get("total", 0.0))
+                if data.get("min") is not None:
+                    instrument.min = min(instrument.min, float(data["min"]))
+                if data.get("max") is not None:
+                    instrument.max = max(instrument.max, float(data["max"]))
+            else:
+                continue
+            if data.get("labels") is not None and instrument.labels is None:
+                instrument.labels = dict(data["labels"])
+                instrument.family = data.get("family")
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +520,12 @@ class _NoopHistogram:
     def quantile(self, q: float) -> float:
         return 0.0
 
+    def estimate_quantile(self, q: float) -> float:
+        return 0.0
+
+    def quantiles(self, qs=(0.5, 0.95, 0.99)) -> dict:
+        return {}
+
     def snapshot(self) -> dict:
         return {"type": "histogram", "count": 0}
 
@@ -304,10 +541,24 @@ class _NoopSpan:
         pass
 
 
+class _NoopFamily:
+    __slots__ = ("_instrument",)
+    enabled = False
+
+    def __init__(self, instrument):
+        self._instrument = instrument
+
+    def labels(self, **labels):
+        return self._instrument
+
+
 _NOOP_COUNTER = _NoopCounter()
 _NOOP_GAUGE = _NoopGauge()
 _NOOP_HISTOGRAM = _NoopHistogram()
 _NOOP_SPAN = _NoopSpan()
+_NOOP_COUNTER_FAMILY = _NoopFamily(_NOOP_COUNTER)
+_NOOP_GAUGE_FAMILY = _NoopFamily(_NOOP_GAUGE)
+_NOOP_HISTOGRAM_FAMILY = _NoopFamily(_NOOP_HISTOGRAM)
 
 
 class NoopMetricsRegistry:
@@ -330,6 +581,17 @@ class NoopMetricsRegistry:
     def span(self, name: str) -> _NoopSpan:
         return _NOOP_SPAN
 
+    def counter_family(self, name: str, label_names) -> _NoopFamily:
+        return _NOOP_COUNTER_FAMILY
+
+    def gauge_family(self, name: str, label_names) -> _NoopFamily:
+        return _NOOP_GAUGE_FAMILY
+
+    def histogram_family(
+        self, name: str, label_names, buckets=DEFAULT_TIME_BUCKETS_US
+    ) -> _NoopFamily:
+        return _NOOP_HISTOGRAM_FAMILY
+
     def names(self) -> list:
         return []
 
@@ -338,6 +600,9 @@ class NoopMetricsRegistry:
 
     def snapshot(self) -> dict:
         return {}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        pass
 
 
 #: The module-level disabled registry (shared singleton).

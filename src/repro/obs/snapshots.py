@@ -1,0 +1,152 @@
+"""Periodic metrics snapshots: the serve soak's telemetry time series.
+
+A final metrics manifest tells you *that* a 60-second soak drifted —
+not *when*.  :class:`SnapshotWriter` writes the live registry to disk
+every N fleet steps, so a run leaves a time series:
+
+* ``shard0-000003.metrics.json`` — the registry snapshot plus metadata
+  (shard, sequence number, fleet step, simulated time) and the most
+  recent alarm/drift/drop log events from the ring buffer (the feed
+  for ``repro top``'s alarm stream);
+* ``shard0-000003.om`` — the same snapshot as OpenMetrics text
+  (:mod:`repro.obs.openmetrics`), scrape-ready.
+
+Writes are atomic (tmp + rename) so a concurrently running
+``repro top`` never reads a torn file.  Each shard writes its own
+series — per-shard files are exactly what the dashboard wants
+(per-shard throughput and latency quantiles), and no cross-process
+coordination is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .manifest import to_jsonable
+from .openmetrics import write_openmetrics
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "EVENT_FEED",
+    "SnapshotWriter",
+    "load_snapshots",
+    "latest_snapshots",
+]
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Log events surfaced in each snapshot's ``recent_events`` feed.
+EVENT_FEED = (
+    "serve.alarm",
+    "serve.drift.flag",
+    "serve.queue.drop",
+    "serve.score.skip",
+)
+
+#: Most recent feed events carried per snapshot.
+FEED_LIMIT = 32
+
+_SNAPSHOT_NAME = re.compile(r"^shard(?P<shard>\d+)-(?P<seq>\d+)\.metrics\.json$")
+
+
+class SnapshotWriter:
+    """Writes the current registry to ``directory`` every ``interval``
+    fleet steps (plus a final snapshot at end of run)."""
+
+    def __init__(
+        self,
+        directory,
+        shard: int = 0,
+        interval: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ):
+        if interval is not None and interval < 1:
+            raise ValueError("snapshot interval must be >= 1 step (or None)")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard = shard
+        self.interval = interval
+        self.meta = dict(meta or {})
+        self.seq = 0
+
+    def maybe_write(self, step: int, sim_time_ns: int) -> bool:
+        """Write if ``step`` (1-based) lands on the snapshot cadence."""
+        if self.interval is None or step % self.interval != 0:
+            return False
+        self.write(step=step, sim_time_ns=sim_time_ns)
+        return True
+
+    def write(self, step: int, sim_time_ns: int, final: bool = False) -> Path:
+        from . import logger, metrics  # late: resolve the live globals
+
+        self.seq += 1
+        payload = {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "shard": self.shard,
+            "seq": self.seq,
+            "step": step,
+            "sim_time_ns": int(sim_time_ns),
+            "final": final,
+            "written_unix": time.time(),
+            "meta": self.meta,
+            "metrics": to_jsonable(metrics().snapshot()),
+            "recent_events": logger().records(events=EVENT_FEED)[-FEED_LIMIT:],
+        }
+        stem = f"shard{self.shard}-{self.seq:06d}"
+        json_path = self.directory / f"{stem}.metrics.json"
+        self._atomic_write(json_path, json.dumps(payload, sort_keys=False))
+        om_path = self.directory / f"{stem}.om"
+        tmp = om_path.with_suffix(".om.tmp")
+        write_openmetrics(tmp, payload["metrics"])
+        os.replace(tmp, om_path)
+        return json_path
+
+    def write_final(self, step: int, sim_time_ns: int) -> Path:
+        return self.write(step=step, sim_time_ns=sim_time_ns, final=True)
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Readers (repro top, CI assertions)
+# ----------------------------------------------------------------------
+def load_snapshots(directory) -> Dict[int, List[dict]]:
+    """All snapshots under ``directory``: shard → list sorted by seq.
+
+    Unreadable/torn files are skipped — the writer is atomic, but a
+    snapshot directory may be copied mid-run.
+    """
+    root = Path(directory)
+    series: Dict[int, List[dict]] = {}
+    if not root.is_dir():
+        return series
+    for entry in sorted(root.iterdir()):
+        match = _SNAPSHOT_NAME.match(entry.name)
+        if not match:
+            continue
+        try:
+            payload = json.loads(entry.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        series.setdefault(int(match.group("shard")), []).append(payload)
+    for snapshots in series.values():
+        snapshots.sort(key=lambda s: s.get("seq", 0))
+    return series
+
+
+def latest_snapshots(directory) -> Dict[int, dict]:
+    """shard → its most recent snapshot."""
+    return {
+        shard: snapshots[-1]
+        for shard, snapshots in load_snapshots(directory).items()
+        if snapshots
+    }

@@ -23,23 +23,37 @@ attribute ``tracer.enabled`` first.
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Iterable, Optional
 
 __all__ = ["TRACE_CATEGORIES", "EventTracer", "NoopTracer", "NOOP_TRACER"]
 
 #: Categories used by the built-in instrumentation (for filtering in
 #: the trace viewer).  Free-form strings are also accepted.
-TRACE_CATEGORIES = ("sim", "hw", "sched", "detector", "alarm")
+TRACE_CATEGORIES = ("sim", "hw", "sched", "detector", "alarm", "serve")
 
 
 class EventTracer:
-    """Collects trace events in memory; exports Chrome JSON / JSONL."""
+    """Collects trace events in memory; exports Chrome JSON / JSONL.
+
+    ``categories`` optionally restricts recording to a category
+    allow-list at emit time.  The fleet service uses this to keep a
+    60-second soak trace at fleet granularity (``serve``/``alarm``
+    events) instead of drowning it in per-tick simulator events.
+    """
 
     enabled = True
 
-    def __init__(self, process_name: str = "repro"):
+    def __init__(
+        self,
+        process_name: str = "repro",
+        categories: Optional[Iterable[str]] = None,
+    ):
         self.process_name = process_name
+        self.categories = frozenset(categories) if categories is not None else None
         self.events: list[dict] = []
+
+    def _keep(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
 
     # ------------------------------------------------------------------
     # Recording
@@ -53,6 +67,8 @@ class EventTracer:
         track: int = 0,
     ) -> None:
         """A point event (``ph = "i"``) at simulated time ``time_ns``."""
+        if not self._keep(category):
+            return
         event = {
             "name": name,
             "cat": category,
@@ -76,6 +92,8 @@ class EventTracer:
         track: int = 0,
     ) -> None:
         """A duration event (``ph = "X"``) spanning ``duration_ns``."""
+        if not self._keep(category):
+            return
         event = {
             "name": name,
             "cat": category,
@@ -91,6 +109,8 @@ class EventTracer:
 
     def counter(self, name: str, time_ns: int, values: dict, track: int = 0) -> None:
         """A counter-track sample (``ph = "C"``) — graphs in the viewer."""
+        if not self._keep("sim"):
+            return
         self.events.append(
             {
                 "name": name,
@@ -102,6 +122,16 @@ class EventTracer:
                 "args": dict(values),
             }
         )
+
+    def extend(self, events: Iterable[dict]) -> None:
+        """Append pre-built events (shard → parent telemetry merge).
+
+        Shard processes trace against their own tracer and ship the raw
+        event dicts back; the parent stitches them into one timeline.
+        Events keep their simulated timestamps, so the merged trace is
+        a valid single-clock view of the whole fleet.
+        """
+        self.events.extend(events)
 
     # ------------------------------------------------------------------
     # Export
@@ -156,6 +186,9 @@ class NoopTracer:
         pass
 
     def counter(self, name, time_ns, values, track=0) -> None:
+        pass
+
+    def extend(self, events) -> None:
         pass
 
     def chrome_trace(self) -> dict:

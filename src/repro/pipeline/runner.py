@@ -603,6 +603,7 @@ class ExperimentRunner:
         self.job_failures: List[JobFailure] = []
         #: Retries performed during the last :meth:`run`.
         self.retries: int = 0
+        self._job_retries: Dict[str, int] = {}
         self._total_jobs: int = 0
 
     # ------------------------------------------------------------------
@@ -612,10 +613,18 @@ class ExperimentRunner:
         experiment_jobs = list(experiment_jobs)
         registry = obs.metrics()
         tracer = obs.tracer()
+        log = obs.logger()
         start_ns = time.perf_counter_ns()
         registry.counter("runner.jobs.launched").inc(len(experiment_jobs))
+        if log.enabled:
+            log.event(
+                "runner.grid.start",
+                jobs=len(experiment_jobs),
+                workers=self.jobs,
+            )
         self.job_failures = []
         self.retries = 0
+        self._job_retries: Dict[str, int] = {}
         self._total_jobs = len(experiment_jobs)
 
         completed: Dict[int, JobResult] = {}
@@ -627,7 +636,20 @@ class ExperimentRunner:
 
         self.job_failures.sort(key=lambda failure: failure.job_index)
         results = [completed[index] for index in sorted(completed)]
+        if log.enabled:
+            log.event(
+                "runner.grid.done",
+                completed=len(results),
+                failed=len(self.job_failures),
+                retries=self.retries,
+            )
         for result in results:
+            if log.enabled:
+                log.event(
+                    "runner.job.completed",
+                    job=result.job.name,
+                    attempts=self._job_retries.get(result.job.name, 0) + 1,
+                )
             registry.counter("runner.jobs.completed").inc()
             registry.counter("runner.cache.hit").inc(sum(result.cache_hits.values()))
             registry.counter("runner.cache.miss").inc(
@@ -844,7 +866,17 @@ class ExperimentRunner:
 
     def _record_retry(self, registry, tracer, job, attempt, payload) -> None:
         self.retries += 1
+        self._job_retries[job.name] = self._job_retries.get(job.name, 0) + 1
         registry.counter("runner.retries").inc()
+        log = obs.logger()
+        if log.enabled:
+            log.event(
+                "runner.job.retry",
+                level="warn",
+                job=job.name,
+                attempt=attempt,
+                error=payload["error_type"],
+            )
         tracer.instant(
             "runner.retry",
             time.perf_counter_ns(),
@@ -873,6 +905,15 @@ class ExperimentRunner:
         self.job_failures.append(failure)
         registry.counter("runner.job_failures").inc()
         registry.counter("runner.jobs.failed").inc()
+        log = obs.logger()
+        if log.enabled:
+            log.event(
+                "runner.job.failed",
+                level="error",
+                job=job.name,
+                attempts=attempts,
+                error=failure.error_type,
+            )
         tracer.instant(
             "runner.job_failed",
             time.perf_counter_ns(),

@@ -23,10 +23,16 @@ Layers (see ``docs/serving.md``):
 """
 
 from .drift import DriftMonitor, DriftPolicy, DriftStatus
+from .health import health_summary, write_health
 from .registry import DetectorRegistry, FleetTrainSpec
 from .report import DeviceReport, FleetReport, device_digest
 from .router import POLICIES, StreamRouter
-from .service import FleetService, ServeConfig
+from .service import (
+    SERVE_TRACE_CATEGORIES,
+    FleetService,
+    ServeConfig,
+    TelemetryConfig,
+)
 from .worker import ShardWorker, batched_log_densities
 
 __all__ = [
@@ -42,6 +48,10 @@ __all__ = [
     "StreamRouter",
     "FleetService",
     "ServeConfig",
+    "TelemetryConfig",
+    "SERVE_TRACE_CATEGORIES",
     "ShardWorker",
     "batched_log_densities",
+    "health_summary",
+    "write_health",
 ]

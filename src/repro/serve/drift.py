@@ -66,10 +66,12 @@ class DriftStatus:
 class DriftMonitor:
     """Tracks per-device score quantiles over a sliding window."""
 
-    def __init__(self, policy: DriftPolicy = DriftPolicy()):
+    def __init__(self, policy: DriftPolicy = DriftPolicy(), shard: int = 0):
         self.policy = policy
+        self.shard = shard
         self._windows: Dict[str, Deque[float]] = {}
         self._metric_flagged = obs.metrics().counter("serve.drift.flagged")
+        self._log = obs.logger()
 
     def observe(self, device_id: str, log_density: float) -> None:
         window = self._windows.get(device_id)
@@ -110,6 +112,17 @@ class DriftMonitor:
             # The paper's θ_p calibration, re-run on the field window.
             suggested = float(np.quantile(values, expected))
             self._metric_flagged.inc()
+            if self._log.enabled:
+                self._log.event(
+                    "serve.drift.flag",
+                    level="warn",
+                    device_id=device_id,
+                    shard=self.shard,
+                    observed_rate=observed,
+                    expected_rate=expected,
+                    suggested_threshold=suggested,
+                    samples=samples,
+                )
         return DriftStatus(
             device_id=device_id,
             samples=samples,

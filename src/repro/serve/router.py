@@ -30,10 +30,13 @@ fire.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Deque, List, Optional
 
 from .. import obs
+from ..obs.context import trace_args
+from ..obs.registry import log_buckets
 from ..sim.fleet import IntervalRecord
 
 __all__ = ["POLICIES", "StreamRouter"]
@@ -52,6 +55,7 @@ class StreamRouter:
         capacity: int = 128,
         policy: str = "block",
         drain_per_step: Optional[int] = None,
+        shard: int = 0,
     ):
         if policy not in POLICIES:
             raise ValueError(
@@ -68,6 +72,7 @@ class StreamRouter:
         self.capacity = capacity
         self.policy = policy
         self.drain_per_step = drain_per_step
+        self.shard = shard
         self.pending: Deque[IntervalRecord] = deque()
         self.submitted = 0
         self.dropped = 0
@@ -81,6 +86,19 @@ class StreamRouter:
         self._metric_fill = registry.histogram(
             "serve.batch_fill", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
         )
+        # Per-shard labelled series: queue depth for the dashboard and
+        # wall-clock batch scoring latency for p50/p95/p99 per shard.
+        shard_label = str(shard)
+        self._metric_shard_depth = registry.gauge_family(
+            "serve.shard.queue_depth", ("shard",)
+        ).labels(shard=shard_label)
+        self._metric_latency = registry.histogram_family(
+            "serve.shard.batch_latency_us",
+            ("shard",),
+            buckets=log_buckets(1.0, 1_000_000.0),
+        ).labels(shard=shard_label)
+        self._log = obs.logger()
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     def submit(self, record: IntervalRecord) -> None:
@@ -90,16 +108,55 @@ class StreamRouter:
                 # Producer stalls until the scorer frees a batch of room.
                 self.block_stalls += 1
                 self._metric_stalls.inc()
+                if self._log.enabled:
+                    self._log.event(
+                        "serve.queue.stall",
+                        level="warn",
+                        device_id=record.device_id,
+                        shard=self.shard,
+                        sim_time_ns=record.time_ns,
+                        trace=record.trace,
+                        depth=len(self.pending),
+                    )
                 self._drain(self.batch_size)
             else:  # drop-oldest
                 oldest = self.pending.popleft()
                 self.dropped += 1
                 self._metric_dropped.inc()
+                if self._log.enabled or self._tracer.enabled:
+                    drop_span = (
+                        oldest.trace.child("queue.drop")
+                        if oldest.trace is not None
+                        else None
+                    )
+                    self._log.event(
+                        "serve.queue.drop",
+                        level="warn",
+                        device_id=oldest.device_id,
+                        shard=self.shard,
+                        sim_time_ns=oldest.time_ns,
+                        trace=drop_span,
+                        interval=oldest.interval_index,
+                        depth=len(self.pending),
+                    )
+                    self._tracer.instant(
+                        "queue.drop",
+                        oldest.time_ns,
+                        category="serve",
+                        args=trace_args(
+                            drop_span,
+                            status="dropped",
+                            device_id=oldest.device_id,
+                            interval=oldest.interval_index,
+                        ),
+                        track=oldest.device_index,
+                    )
                 self.worker.record_dropped(oldest)
         self.pending.append(record)
         self.submitted += 1
         self._metric_submitted.inc()
         self._metric_depth.set(len(self.pending))
+        self._metric_shard_depth.set(len(self.pending))
         if self.drain_per_step is None and len(self.pending) >= self.batch_size:
             self._drain(self.batch_size)
 
@@ -123,5 +180,13 @@ class StreamRouter:
             budget -= take
             self._metric_batches.inc()
             self._metric_fill.observe(len(batch))
-            self.worker.score_batch(batch)
+            if self._metric_latency.enabled:
+                start = time.perf_counter_ns()
+                self.worker.score_batch(batch)
+                self._metric_latency.observe(
+                    (time.perf_counter_ns() - start) / 1_000.0
+                )
+            else:
+                self.worker.score_batch(batch)
         self._metric_depth.set(len(self.pending))
+        self._metric_shard_depth.set(len(self.pending))

@@ -31,8 +31,10 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import faults, kernels
+from .. import faults, kernels, obs
 from ..faults.plan import FaultPlan
+from ..obs.manifest import to_jsonable
+from ..obs.snapshots import SnapshotWriter
 from ..pipeline.cache import ArtifactCache
 from ..pipeline.stages import SCENARIOS
 from ..sim.fleet import FleetSimulator, build_fleet_specs
@@ -42,7 +44,54 @@ from .report import DeviceReport, FleetReport
 from .router import POLICIES, StreamRouter
 from .worker import ShardWorker
 
-__all__ = ["ServeConfig", "FleetService"]
+__all__ = ["ServeConfig", "TelemetryConfig", "FleetService"]
+
+#: Trace categories the fleet service keeps by default: fleet-layer
+#: events only.  The platform simulator's per-tick events would put a
+#: 60-second soak trace in the hundreds of megabytes.
+SERVE_TRACE_CATEGORIES = ("serve", "alarm")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Which telemetry the fleet run carries, and where it lands.
+
+    Picklable and shipped to shard processes: a shard child enables a
+    fresh ``repro.obs`` stack from this config, runs against it, and
+    returns the collected payload (metrics snapshot, trace events,
+    log records) for the parent to merge.  ``disabled()`` is the
+    default — telemetry stays strictly opt-in, preserving the PR-1
+    no-op-twin overhead contract.
+    """
+
+    metrics: bool = False
+    tracing: bool = False
+    logging: bool = False
+    metrics_dir: Optional[str] = None
+    metrics_interval: Optional[int] = None
+    trace_categories: Optional[Tuple[str, ...]] = SERVE_TRACE_CATEGORIES
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.metrics or self.tracing or self.logging
+
+    @classmethod
+    def disabled(cls) -> "TelemetryConfig":
+        return cls()
+
+    @classmethod
+    def from_current(cls, **overrides) -> "TelemetryConfig":
+        """Mirror the parent process's live ``repro.obs`` state."""
+        tracer = obs.tracer()
+        categories = getattr(tracer, "categories", None)
+        fields_ = dict(
+            metrics=obs.metrics().enabled,
+            tracing=tracer.enabled,
+            logging=obs.logger().enabled,
+            trace_categories=tuple(categories) if categories else None,
+        )
+        fields_.update(overrides)
+        return cls(**fields_)
 
 
 @dataclass(frozen=True)
@@ -93,43 +142,115 @@ def _run_shard(
     detector_payload: Dict[str, dict],
     config: ServeConfig,
     fault_plan: Optional[FaultPlan],
-) -> Tuple[List[DeviceReport], Dict[str, int]]:
-    """One shard's full run (module-level: picklable for worker pools)."""
-    with faults.injected(fault_plan):
-        detectors = DetectorRegistry.detectors_from_payload(detector_payload)
-        worker = ShardWorker(
-            detectors,
-            specs,
-            p_percent=config.p_percent,
-            consecutive_for_alarm=config.consecutive_for_alarm,
-            batch_pad=config.batch_size,
-            drift=DriftMonitor(config.drift),
+    telemetry: Optional[TelemetryConfig] = None,
+    in_process: bool = True,
+) -> Tuple[List[DeviceReport], Dict[str, int], Optional[dict]]:
+    """One shard's full run (module-level: picklable for worker pools).
+
+    With ``in_process=True`` (the ``shards == 1`` path) the shard runs
+    against the parent's live instruments and returns no telemetry
+    payload.  In a pool child (``in_process=False``) a fresh obs stack
+    is enabled from ``telemetry``; the collected metrics snapshot,
+    trace events and log records come back as the third return value
+    for the parent to merge — instruments don't cross process
+    boundaries, payloads do.
+    """
+    telemetry = telemetry if telemetry is not None else TelemetryConfig.disabled()
+    if not in_process and telemetry.any_enabled:
+        obs.enable(
+            with_metrics=telemetry.metrics,
+            with_tracing=telemetry.tracing,
+            with_logging=telemetry.logging,
+            trace_categories=telemetry.trace_categories,
         )
-        router = StreamRouter(
-            worker,
-            batch_size=config.batch_size,
-            capacity=config.queue_capacity,
-            policy=config.policy,
-            drain_per_step=config.drain_per_step,
+    writer = None
+    if telemetry.metrics and telemetry.metrics_dir:
+        writer = SnapshotWriter(
+            telemetry.metrics_dir,
+            shard=shard_index,
+            interval=telemetry.metrics_interval,
+            meta={"devices": len(specs), "seed": config.seed},
         )
-        simulator = FleetSimulator(specs)
-        for _ in range(config.intervals):
-            for record in simulator.step():
-                router.submit(record)
-            router.end_step()
-        router.flush()
-        reports = [
-            worker.device_report(
-                spec, shard_index, keep_densities=config.keep_densities
+    log = obs.logger()
+    if log.enabled:
+        log.event(
+            "serve.shard.start",
+            shard=shard_index,
+            seed=config.seed,
+            devices=len(specs),
+        )
+    try:
+        with faults.injected(fault_plan):
+            detectors = DetectorRegistry.detectors_from_payload(detector_payload)
+            worker = ShardWorker(
+                detectors,
+                specs,
+                p_percent=config.p_percent,
+                consecutive_for_alarm=config.consecutive_for_alarm,
+                batch_pad=config.batch_size,
+                drift=DriftMonitor(config.drift, shard=shard_index),
+                shard=shard_index,
             )
-            for spec in specs
-        ]
-        stats = {
-            "submitted": router.submitted,
-            "dropped": router.dropped,
-            "block_stalls": router.block_stalls,
-        }
-        return reports, stats
+            router = StreamRouter(
+                worker,
+                batch_size=config.batch_size,
+                capacity=config.queue_capacity,
+                policy=config.policy,
+                drain_per_step=config.drain_per_step,
+                shard=shard_index,
+            )
+            simulator = FleetSimulator(specs)
+            sim_time_ns = 0
+            for step in range(1, config.intervals + 1):
+                for record in simulator.step():
+                    sim_time_ns = record.time_ns
+                    router.submit(record)
+                router.end_step()
+                if writer is not None:
+                    writer.maybe_write(step, sim_time_ns)
+            router.flush()
+            reports = [
+                worker.device_report(
+                    spec, shard_index, keep_densities=config.keep_densities
+                )
+                for spec in specs
+            ]
+            stats = {
+                "submitted": router.submitted,
+                "dropped": router.dropped,
+                "block_stalls": router.block_stalls,
+            }
+        if log.enabled:
+            log.event(
+                "serve.shard.done",
+                shard=shard_index,
+                sim_time_ns=sim_time_ns,
+                submitted=stats["submitted"],
+                dropped=stats["dropped"],
+                block_stalls=stats["block_stalls"],
+            )
+        if writer is not None:
+            writer.write_final(config.intervals, sim_time_ns)
+        payload = None
+        if not in_process and telemetry.any_enabled:
+            payload = {
+                "shard": shard_index,
+                "metrics": (
+                    to_jsonable(obs.metrics().snapshot())
+                    if telemetry.metrics
+                    else None
+                ),
+                "trace_events": (
+                    list(obs.tracer().events) if telemetry.tracing else None
+                ),
+                "log_records": (
+                    obs.logger().records() if telemetry.logging else None
+                ),
+            }
+        return reports, stats, payload
+    finally:
+        if not in_process and telemetry.any_enabled:
+            obs.disable()
 
 
 class FleetService:
@@ -139,9 +260,11 @@ class FleetService:
         self,
         config: ServeConfig = ServeConfig(),
         fault_plan: Optional[FaultPlan] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         self.config = config
         self.fault_plan = fault_plan
+        self.telemetry = telemetry
 
     def build_specs(self):
         config = self.config
@@ -162,38 +285,91 @@ class FleetService:
 
     def run(self) -> FleetReport:
         config = self.config
+        telemetry = (
+            self.telemetry
+            if self.telemetry is not None
+            else TelemetryConfig.from_current()
+        )
+        log = obs.logger()
+        if log.enabled:
+            log.event(
+                "serve.start",
+                seed=config.seed,
+                devices=config.devices,
+                shards=config.shards,
+                intervals=config.intervals,
+                policy=config.policy,
+                batch_size=config.batch_size,
+            )
         specs = self.build_specs()
         with faults.injected(self.fault_plan):
             registry = DetectorRegistry(
                 root_seed=config.seed, train=config.train, cache=self._cache()
             )
             payload = registry.arrays_payload(spec.profile for spec in specs)
+        if log.enabled:
+            log.event(
+                "serve.detectors.ready",
+                seed=config.seed,
+                profiles=sorted({spec.profile for spec in specs}),
+                cache_hits=registry.cache_hits,
+            )
         shard_specs = [
             [spec for spec in specs if spec.index % config.shards == shard]
             for shard in range(config.shards)
         ]
         if config.shards == 1:
             results = [
-                _run_shard(0, specs, payload, config, self.fault_plan)
+                _run_shard(
+                    0, specs, payload, config, self.fault_plan,
+                    telemetry=telemetry, in_process=True,
+                )
             ]
         else:
             with ProcessPoolExecutor(max_workers=config.shards) as pool:
                 futures = [
                     pool.submit(
                         _run_shard, shard, shard_specs[shard], payload,
-                        config, self.fault_plan,
+                        config, self.fault_plan, telemetry, False,
                     )
                     for shard in range(config.shards)
                 ]
                 results = [future.result() for future in futures]
         device_reports: List[DeviceReport] = []
         block_stalls = 0
-        for reports, stats in results:
+        # Merge in shard order — deterministic, so merged telemetry
+        # (trace event order, log replay order) is reproducible too.
+        for reports, stats, shard_telemetry in results:
             device_reports.extend(reports)
             block_stalls += stats["block_stalls"]
-        return FleetReport.build(
+            self._merge_telemetry(shard_telemetry)
+        report = FleetReport.build(
             config=config,
             device_reports=device_reports,
             block_stalls=block_stalls,
             kernels_backend=kernels.active_backend(),
         )
+        if log.enabled:
+            log.event(
+                "serve.report.ready",
+                seed=config.seed,
+                devices=report.devices,
+                alarms=report.alarms,
+                dropped=report.dropped,
+                fleet_digest=report.fleet_digest,
+            )
+        return report
+
+    @staticmethod
+    def _merge_telemetry(shard_payload: Optional[dict]) -> None:
+        """Fold one shard child's telemetry into the parent instruments."""
+        if not shard_payload:
+            return
+        if shard_payload.get("metrics"):
+            obs.metrics().merge_snapshot(shard_payload["metrics"])
+        if shard_payload.get("trace_events"):
+            obs.tracer().extend(shard_payload["trace_events"])
+        if shard_payload.get("log_records"):
+            parent_log = obs.logger()
+            for record in shard_payload["log_records"]:
+                parent_log.emit_record(record)

@@ -34,6 +34,7 @@ import numpy as np
 
 from .. import faults, kernels, obs
 from ..learn.detector import MhmDetector
+from ..obs.context import trace_args
 from ..sim.fleet import DeviceSpec, IntervalRecord
 from .drift import DriftMonitor
 from .report import DeviceReport, device_digest
@@ -98,6 +99,7 @@ class ShardWorker:
         consecutive_for_alarm: int = 3,
         batch_pad: int = 32,
         drift: Optional[DriftMonitor] = None,
+        shard: int = 0,
     ):
         if batch_pad < 1:
             raise ValueError("batch_pad must be >= 1")
@@ -105,7 +107,8 @@ class ShardWorker:
         self.p_percent = p_percent
         self.consecutive_for_alarm = consecutive_for_alarm
         self.batch_pad = batch_pad
-        self.drift = drift if drift is not None else DriftMonitor()
+        self.shard = shard
+        self.drift = drift if drift is not None else DriftMonitor(shard=shard)
         self.thetas = {
             profile: detector.threshold(p_percent)
             for profile, detector in detectors.items()
@@ -118,6 +121,11 @@ class ShardWorker:
         self._metric_flagged = registry.counter("serve.intervals_flagged")
         self._metric_skipped = registry.counter("serve.intervals_skipped")
         self._metric_alarms = registry.counter("serve.alarms")
+        self._metric_shard_scored = registry.counter_family(
+            "serve.shard.intervals_scored", ("shard",)
+        ).labels(shard=str(shard))
+        self._log = obs.logger()
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     def score_batch(self, records: Sequence[IntervalRecord]) -> None:
@@ -136,7 +144,7 @@ class ShardWorker:
                         "serve.score", "corrupted MHM interval buffer"
                     )
             except Exception:
-                self._skip(state, record)
+                self._skip(state, record, reason="fault:serve.score")
                 continue
             live.append(record)
         if not live:
@@ -155,7 +163,7 @@ class ShardWorker:
             for record, log_density in zip(group, densities):
                 state = self.states[record.device_id]
                 if not np.isfinite(log_density):
-                    self._skip(state, record)
+                    self._skip(state, record, reason="non-finite-density")
                     continue
                 self._record(state, record, float(log_density), theta)
 
@@ -166,13 +174,48 @@ class ShardWorker:
         state.dropped += 1
 
     # ------------------------------------------------------------------
-    def _skip(self, state: DeviceState, record: IntervalRecord) -> None:
+    def _verdict_telemetry(
+        self, record: IntervalRecord, status: str, **extra
+    ) -> None:
+        """One ``score.verdict`` span per record (telemetry only)."""
+        span = record.trace.child("score") if record.trace is not None else None
+        self._tracer.instant(
+            "score.verdict",
+            record.time_ns,
+            category="serve",
+            args=trace_args(
+                span,
+                status=status,
+                device_id=record.device_id,
+                interval=record.interval_index,
+                shard=self.shard,
+                **extra,
+            ),
+            track=record.device_index,
+        )
+
+    def _skip(
+        self, state: DeviceState, record: IntervalRecord, reason: str = "fault"
+    ) -> None:
         state.interval_indices.append(record.interval_index)
         state.log_densities.append(float("nan"))
         state.flags.append(SKIPPED)
         state.truths.append(record.truth)
         state.streak = 0
         self._metric_skipped.inc()
+        if self._log.enabled:
+            self._log.event(
+                "serve.score.skip",
+                level="warn",
+                device_id=record.device_id,
+                shard=self.shard,
+                sim_time_ns=record.time_ns,
+                trace=record.trace,
+                interval=record.interval_index,
+                reason=reason,
+            )
+        if self._tracer.enabled:
+            self._verdict_telemetry(record, SKIPPED, reason=reason)
 
     def _record(
         self,
@@ -187,6 +230,11 @@ class ShardWorker:
         state.flags.append(ANOMALOUS if anomalous else OK)
         state.truths.append(record.truth)
         self._metric_scored.inc()
+        self._metric_shard_scored.inc()
+        if self._tracer.enabled:
+            self._verdict_telemetry(
+                record, ANOMALOUS if anomalous else OK
+            )
         self.drift.observe(record.device_id, log_density)
         if anomalous:
             self._metric_flagged.inc()
@@ -194,6 +242,36 @@ class ShardWorker:
             if state.streak == self.consecutive_for_alarm:
                 state.alarms.append(record.interval_index)
                 self._metric_alarms.inc()
+                if self._log.enabled:
+                    self._log.event(
+                        "serve.alarm",
+                        level="warn",
+                        device_id=record.device_id,
+                        shard=self.shard,
+                        sim_time_ns=record.time_ns,
+                        trace=record.trace,
+                        interval=record.interval_index,
+                        streak=state.streak,
+                    )
+                if self._tracer.enabled:
+                    span = (
+                        record.trace.child("alarm")
+                        if record.trace is not None
+                        else None
+                    )
+                    self._tracer.instant(
+                        "device.alarm",
+                        record.time_ns,
+                        category="alarm",
+                        args=trace_args(
+                            span,
+                            status="alarm",
+                            device_id=record.device_id,
+                            interval=record.interval_index,
+                            streak=state.streak,
+                        ),
+                        track=record.device_index,
+                    )
         else:
             state.streak = 0
 

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 import numpy as np
 
 from .. import obs
+from ..obs.context import TraceContext, trace_args
 from ..pipeline.stages import SCENARIOS, make_attack
 from .devices import NetworkDeviceConfig
 from .platform import Platform, PlatformConfig
@@ -125,7 +126,13 @@ class DeviceSpec:
 
 @dataclass(frozen=True)
 class IntervalRecord:
-    """One device's MHM for one monitoring interval."""
+    """One device's MHM for one monitoring interval.
+
+    ``time_ns`` is the interval's simulated start time on the device's
+    own clock; ``trace`` is the record's deterministic trace context
+    (populated only while telemetry is enabled — scoring never reads
+    either, so they cannot perturb results).
+    """
 
     device_index: int
     device_id: str
@@ -133,6 +140,8 @@ class IntervalRecord:
     interval_index: int
     vector: np.ndarray  # float64 cell counts, ready for scoring
     truth: bool  # ground-truth anomaly label (attack active)
+    time_ns: int = 0
+    trace: Optional[TraceContext] = None
 
 
 def build_fleet_specs(
@@ -230,6 +239,10 @@ class DeviceStream:
             else None
         )
         self.emitted = 0
+        # Instruments are cached at construction (the obs contract);
+        # trace contexts are built only while the tracer is live so the
+        # disabled path stays two attribute reads per record.
+        self._tracer = obs.tracer()
 
     def _truth(self, interval_index: int) -> bool:
         spec = self.spec
@@ -265,6 +278,18 @@ class DeviceStream:
         platform.run_intervals(1)
         heat_map = platform.secure_core.series(start=start)[0]
         self.emitted += 1
+        trace = None
+        if self._tracer.enabled:
+            trace = TraceContext.for_interval(spec.seed, spec.device_id, index)
+            self._tracer.instant(
+                "interval.emit",
+                heat_map.start_time_ns,
+                category="serve",
+                args=trace_args(
+                    trace, device_id=spec.device_id, interval=index
+                ),
+                track=spec.index,
+            )
         return IntervalRecord(
             device_index=spec.index,
             device_id=spec.device_id,
@@ -272,6 +297,8 @@ class DeviceStream:
             interval_index=index,
             vector=heat_map.as_vector(),
             truth=self._truth(index),
+            time_ns=heat_map.start_time_ns,
+            trace=trace,
         )
 
 

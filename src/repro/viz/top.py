@@ -1,0 +1,173 @@
+"""``repro top`` — a live terminal dashboard over metrics snapshots.
+
+Points at the ``--metrics-dir`` a fleet serve is writing
+(:class:`~repro.obs.snapshots.SnapshotWriter` files) and renders a
+refresh-in-place view: per-shard throughput, queue depth, loss
+counters, batch-latency quantiles, and a rolling stream of the most
+recent alarm / drift / drop events.  Reads are snapshot-file based —
+no socket, no shared memory — so ``repro top`` can watch a run in
+another process, a container volume, or a CI artifact directory after
+the fact (``--once`` renders a single frame and exits, which is what
+the serve-soak job asserts on).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..obs.snapshots import latest_snapshots
+
+__all__ = ["render_top", "run_top"]
+
+#: Alarm-stream rows shown per frame.
+STREAM_ROWS = 10
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _metric(metrics: dict, name: str, shard: int, key: str = "value", default=0):
+    """A metric value, preferring the shard-labelled series."""
+    for candidate in (f'{name}{{shard="{shard}"}}', name):
+        data = metrics.get(candidate)
+        if data is not None:
+            return data.get(key, default)
+    return default
+
+
+def _quantiles(metrics: dict, name: str, shard: int) -> Dict[str, float]:
+    for candidate in (f'{name}{{shard="{shard}"}}', name):
+        data = metrics.get(candidate)
+        if data is not None:
+            return data.get("quantiles") or {}
+    return {}
+
+
+def _fmt_us(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}ms"
+    return f"{value:.0f}µs"
+
+
+def _shard_row(shard: int, snapshot: dict) -> List:
+    metrics = snapshot.get("metrics", {})
+    quantiles = _quantiles(metrics, "serve.shard.batch_latency_us", shard)
+    sim_s = snapshot.get("sim_time_ns", 0) / 1e9
+    return [
+        shard,
+        snapshot.get("step", 0),
+        f"{sim_s:.2f}s",
+        _metric(metrics, "serve.shard.intervals_scored", shard),
+        _metric(metrics, "serve.shard.queue_depth", shard),
+        _metric(metrics, "serve.queue.dropped", shard),
+        _metric(metrics, "serve.intervals_skipped", shard),
+        _metric(metrics, "serve.alarms", shard),
+        _metric(metrics, "serve.drift.flagged", shard),
+        _fmt_us(quantiles.get("p50")),
+        _fmt_us(quantiles.get("p95")),
+        _fmt_us(quantiles.get("p99")),
+    ]
+
+
+def _event_rows(snapshots: Dict[int, dict]) -> List[List]:
+    merged: List[dict] = []
+    for shard, snapshot in sorted(snapshots.items()):
+        for record in snapshot.get("recent_events", []):
+            entry = dict(record)
+            entry.setdefault("shard", shard)
+            merged.append(entry)
+    merged.sort(key=lambda r: (r.get("sim_time_ns", 0), r.get("seq", 0)))
+    rows = []
+    for record in merged[-STREAM_ROWS:]:
+        fields = record.get("fields", {})
+        detail = " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+        rows.append(
+            [
+                f"{record.get('sim_time_ns', 0) / 1e9:.2f}s",
+                record.get("shard", "-"),
+                record.get("device_id", "-"),
+                record.get("event", "?"),
+                detail,
+            ]
+        )
+    return rows
+
+
+def render_top(snapshots: Dict[int, dict], source: str = "", width: int = 100) -> str:
+    """One dashboard frame from the latest per-shard snapshots."""
+    from .tables import format_table
+
+    if not snapshots:
+        return f"repro top — no snapshots yet under {source or '(no dir)'}\n"
+    shard_rows = [
+        _shard_row(shard, snapshot)
+        for shard, snapshot in sorted(snapshots.items())
+    ]
+    total_scored = sum(row[3] for row in shard_rows)
+    total_alarms = sum(row[7] for row in shard_rows)
+    final = all(s.get("final") for s in snapshots.values())
+    header = (
+        f"repro top — {source}  "
+        f"[shards: {len(snapshots)}  scored: {total_scored}  "
+        f"alarms: {total_alarms}  {'final' if final else 'live'}]"
+    )
+    parts = [
+        header[:width],
+        "",
+        format_table(
+            [
+                "shard", "step", "sim", "scored", "depth", "drop",
+                "skip", "alarm", "drift", "p50", "p95", "p99",
+            ],
+            shard_rows,
+            title="shards",
+        ),
+    ]
+    event_rows = _event_rows(snapshots)
+    if event_rows:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["sim", "shard", "device", "event", "detail"],
+                event_rows,
+                title=f"recent events (last {len(event_rows)})",
+            )
+        )
+    return "\n".join(parts) + "\n"
+
+
+def run_top(
+    directory,
+    once: bool = False,
+    interval: float = 2.0,
+    width: int = 100,
+    stream=None,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Render the dashboard; refresh in place until the run finalises.
+
+    Returns the number of frames rendered.  ``max_frames`` bounds the
+    loop for tests; the interactive loop stops on Ctrl-C or when every
+    shard has written its final snapshot.
+    """
+    out = stream if stream is not None else sys.stdout
+    frames = 0
+    while True:
+        snapshots = latest_snapshots(directory)
+        frame = render_top(snapshots, source=str(directory), width=width)
+        if not once and frames > 0:
+            out.write(_CLEAR)
+        out.write(frame)
+        out.flush()
+        frames += 1
+        if once or (max_frames is not None and frames >= max_frames):
+            return frames
+        if snapshots and all(s.get("final") for s in snapshots.values()):
+            return frames
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return frames

@@ -1,0 +1,121 @@
+"""Telemetry determinism: two fresh `repro serve` runs match exactly.
+
+Satellite (c) of the fleet-telemetry PR: logs and traces are stamped
+with *simulated* time only and trace ids derive from
+``(seed, device, interval)``, so two serve runs in fresh interpreters
+— even under different hash seeds — must produce identical trace-id
+sets, identical span trees and identical per-device digests.  Any
+wall-clock or hash-order leak into the telemetry path breaks this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent.parent
+
+SERVE_ARGS = [
+    "serve",
+    "--devices", "3",
+    "--shards", "1",
+    "--intervals", "6",
+    "--seed", "2015",
+    "--attacks", "1",
+    "--train-runs", "1",
+    "--train-intervals", "40",
+    "--validation", "40",
+]
+
+
+def _fresh_serve(out_dir: pathlib.Path, cache_dir: pathlib.Path, hashseed: str):
+    """Run the CLI in a fresh interpreter; return its telemetry files."""
+    out_dir.mkdir()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["PYTHONHASHSEED"] = hashseed
+    argv = SERVE_ARGS + [
+        "--cache-dir", str(cache_dir),
+        "--report-out", str(out_dir / "report.json"),
+        "--trace", str(out_dir / "trace.json"),
+        "--metrics-out", str(out_dir / "metrics.json"),
+        "--log", str(out_dir / "serve.jsonl"),
+        "--health-out", str(out_dir / "health.json"),
+    ]
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli"] + argv,
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, check=True,
+    )
+    return {
+        "report": json.loads((out_dir / "report.json").read_text()),
+        "trace": json.loads((out_dir / "trace.json").read_text()),
+        "log": (out_dir / "serve.jsonl").read_text(),
+        "health": json.loads((out_dir / "health.json").read_text()),
+    }
+
+
+@pytest.fixture(scope="module")
+def two_fresh_runs(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("cache")
+    root = tmp_path_factory.mktemp("runs")
+    return (
+        _fresh_serve(root / "a", cache, hashseed="1"),
+        _fresh_serve(root / "b", cache, hashseed="2"),
+    )
+
+
+def _span_tree(trace: dict):
+    """(name, trace_id, span_id, parent_id) tuples for traced events."""
+    spans = set()
+    for event in trace.get("traceEvents", trace.get("events", [])):
+        args = event.get("args") or {}
+        if "trace_id" in args:
+            spans.add((
+                event.get("name"),
+                args["trace_id"],
+                args.get("span_id"),
+                args.get("parent_id"),
+            ))
+    return spans
+
+
+def test_device_digests_identical(two_fresh_runs):
+    first, second = two_fresh_runs
+    digests = lambda run: {
+        d["device_id"]: d["digest"] for d in run["report"]["device_reports"]
+    }
+    assert digests(first) == digests(second)
+    assert first["report"]["fleet_digest"] == second["report"]["fleet_digest"]
+
+
+def test_trace_ids_and_span_trees_identical(two_fresh_runs):
+    first, second = two_fresh_runs
+    tree = _span_tree(first["trace"])
+    assert tree  # traced spans actually exist
+    assert tree == _span_tree(second["trace"])
+
+
+def test_log_streams_identical(two_fresh_runs):
+    # cache_hits legitimately differs between a cold and a warm cache;
+    # everything else in the stream must match record-for-record.
+    def records(run):
+        out = []
+        for line in run["log"].splitlines():
+            record = json.loads(line)
+            record.get("fields", {}).pop("cache_hits", None)
+            out.append(record)
+        return out
+
+    first, second = two_fresh_runs
+    assert records(first)  # non-empty
+    assert records(first) == records(second)
+
+
+def test_both_runs_report_ready(two_fresh_runs):
+    for run in two_fresh_runs:
+        assert run["health"]["ready"] is True

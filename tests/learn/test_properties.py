@@ -56,9 +56,9 @@ class TestGmmProperties:
         # EM guarantee: mean LL never decreases ⇔ NLL never increases.
         # The covariance ridge (default 1e-4) perturbs the exact M-step
         # maximizer, so monotonicity holds up to a ridge-scale slack —
-        # still ~1000x tighter than any genuine EM regression.
+        # still ~100x tighter than any genuine EM regression.
         nll = -trajectory
-        slack = 1e-5 * np.maximum(1.0, np.abs(trajectory[:-1]))
+        slack = 1e-4 * np.maximum(1.0, np.abs(trajectory[:-1]))
         assert np.all(np.diff(nll) <= slack)
 
     @given(seed=st.integers(min_value=0, max_value=2**31))

@@ -1,0 +1,52 @@
+"""TraceContext: deterministic ids, span trees, args flattening."""
+
+from repro.obs.context import TraceContext, trace_args
+
+
+class TestTraceContext:
+    def test_ids_are_pure_functions_of_inputs(self):
+        a = TraceContext.for_interval(2015, "dev-0003", 42)
+        b = TraceContext.for_interval(2015, "dev-0003", 42)
+        assert a == b
+        assert len(a.trace_id) == 32
+        assert len(a.span_id) == 16
+        assert a.parent_id is None
+
+    def test_distinct_inputs_distinct_traces(self):
+        base = TraceContext.for_interval(2015, "dev-0003", 42)
+        assert TraceContext.for_interval(2016, "dev-0003", 42) != base
+        assert TraceContext.for_interval(2015, "dev-0004", 42) != base
+        assert TraceContext.for_interval(2015, "dev-0003", 43) != base
+
+    def test_child_links_to_parent(self):
+        root = TraceContext.for_interval(7, "dev-0000", 0)
+        child = root.child("score")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        assert child.name == "score"
+        # Same derivation twice -> same span id (reproducible tree).
+        assert root.child("score") == child
+        # Different stage name -> different span.
+        assert root.child("alarm").span_id != child.span_id
+
+    def test_grandchild_chains(self):
+        root = TraceContext.for_interval(7, "dev-0000", 0)
+        leaf = root.child("score").child("alarm")
+        assert leaf.trace_id == root.trace_id
+        assert leaf.parent_id == root.child("score").span_id
+
+
+class TestTraceArgs:
+    def test_flattens_ids_status_and_extras(self):
+        ctx = TraceContext.for_interval(7, "dev-0000", 1).child("score")
+        args = trace_args(ctx, status="anomalous", interval=1)
+        assert args["trace_id"] == ctx.trace_id
+        assert args["span_id"] == ctx.span_id
+        assert args["parent_id"] == ctx.parent_id
+        assert args["status"] == "anomalous"
+        assert args["interval"] == 1
+
+    def test_none_context_keeps_extras_only(self):
+        args = trace_args(None, status="ok", interval=2)
+        assert args == {"status": "ok", "interval": 2}

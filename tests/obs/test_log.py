@@ -1,0 +1,162 @@
+"""Structured logging: schema enforcement, sinks, determinism."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.log import (
+    EVENTS,
+    LOG_SCHEMA_VERSION,
+    NOOP_LOGGER,
+    FileSink,
+    RingBufferSink,
+    StructuredLogger,
+    register_event,
+)
+
+
+class TestEventRegistry:
+    def test_serve_and_runner_events_are_registered(self):
+        for name in (
+            "serve.start",
+            "serve.alarm",
+            "serve.queue.drop",
+            "serve.drift.flag",
+            "serve.report.ready",
+            "serve.health",
+            "runner.grid.start",
+            "runner.job.retry",
+            "runner.job.failed",
+            "runner.job.completed",
+        ):
+            assert name in EVENTS
+            assert EVENTS[name].component in ("serve", "runner")
+
+    def test_reregister_identical_is_idempotent(self):
+        spec = EVENTS["serve.alarm"]
+        again = register_event(
+            "serve.alarm", "serve", ("interval", "streak"),
+            spec.description,
+        )
+        assert again == spec
+
+    def test_conflicting_reregister_raises(self):
+        with pytest.raises(ValueError, match="different spec"):
+            register_event("serve.alarm", "serve", ("other_field",))
+
+
+class TestStructuredLogger:
+    def test_record_envelope(self):
+        log = StructuredLogger()
+        record = log.event(
+            "serve.alarm",
+            level="warn",
+            device_id="dev-0001",
+            shard=2,
+            sim_time_ns=123,
+            seed=7,
+            interval=9,
+            streak=3,
+        )
+        assert record["schema"] == LOG_SCHEMA_VERSION
+        assert record["seq"] == 0
+        assert record["event"] == "serve.alarm"
+        assert record["component"] == "serve"
+        assert record["level"] == "warn"
+        assert record["device_id"] == "dev-0001"
+        assert record["shard"] == 2
+        assert record["sim_time_ns"] == 123
+        assert record["seed"] == 7
+        assert record["fields"] == {"interval": 9, "streak": 3}
+        assert "trace_id" not in record
+
+    def test_seq_increments(self):
+        log = StructuredLogger()
+        first = log.event("serve.queue.stall", depth=4)
+        second = log.event("serve.queue.stall", depth=5)
+        assert (first["seq"], second["seq"]) == (0, 1)
+
+    def test_trace_context_is_flattened(self):
+        log = StructuredLogger()
+        ctx = obs.TraceContext.for_interval(11, "dev-0000", 3).child("score")
+        record = log.event("serve.alarm", trace=ctx, interval=3, streak=1)
+        assert record["trace_id"] == ctx.trace_id
+        assert record["span_id"] == ctx.span_id
+        assert record["parent_id"] == ctx.parent_id
+
+    def test_unregistered_event_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            StructuredLogger().event("serve.nonsense")
+
+    def test_undeclared_field_rejected(self):
+        with pytest.raises(ValueError, match="does not declare"):
+            StructuredLogger().event("serve.alarm", interval=1, bogus=2)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            StructuredLogger().event("serve.alarm", level="fatal", interval=1)
+
+    def test_records_filter_by_event(self):
+        log = StructuredLogger()
+        log.event("serve.queue.stall", depth=1)
+        log.event("serve.alarm", interval=2, streak=3)
+        assert len(log.records()) == 2
+        assert len(log.records(event="serve.alarm")) == 1
+        assert len(log.records(events=("serve.alarm", "serve.queue.stall"))) == 2
+
+    def test_emit_record_replays_untouched(self):
+        log = StructuredLogger()
+        foreign = {"schema": 1, "seq": 42, "event": "serve.alarm", "shard": 3}
+        log.emit_record(foreign)
+        assert log.records() == [foreign]
+
+
+class TestSinks:
+    def test_ring_buffer_is_bounded(self):
+        sink = RingBufferSink(capacity=4)
+        for i in range(10):
+            sink.emit({"seq": i})
+        assert len(sink) == 4
+        assert [r["seq"] for r in sink.records()] == [6, 7, 8, 9]
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = StructuredLogger()
+        log.add_sink(FileSink(path))
+        log.event("serve.queue.stall", depth=2)
+        log.event("serve.alarm", interval=1, streak=1)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["event"] for p in parsed] == ["serve.queue.stall", "serve.alarm"]
+        assert all(p["schema"] == LOG_SCHEMA_VERSION for p in parsed)
+
+
+class TestNoopAndGlobals:
+    def test_noop_logger_swallows_everything(self):
+        assert NOOP_LOGGER.event("not.even.registered", junk=1) == {}
+        assert NOOP_LOGGER.records() == []
+        assert len(NOOP_LOGGER) == 0
+        assert not NOOP_LOGGER.enabled
+
+    def test_logger_global_follows_enable_disable(self):
+        assert obs.logger() is NOOP_LOGGER
+        with obs.observed():
+            live = obs.logger()
+            assert live.enabled
+            live.event("serve.queue.stall", depth=1)
+            assert len(live) == 1
+        assert obs.logger() is NOOP_LOGGER
+
+    def test_enable_without_logging_keeps_noop(self):
+        with obs.observed(with_logging=False):
+            assert obs.logger() is NOOP_LOGGER
+
+    def test_obs_log_module_not_shadowed(self):
+        # The accessor is obs.logger(); repro.obs.log stays importable
+        # as the module attribute.
+        import repro.obs.log as log_module
+
+        assert obs.log is log_module

@@ -1,0 +1,64 @@
+"""OpenMetrics exposition: naming, grouping, cumulative buckets."""
+
+from repro.obs.openmetrics import render_openmetrics
+from repro.obs.registry import MetricsRegistry, log_buckets
+
+
+def _registry_with_everything() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.queue.dropped").inc(3)
+    registry.gauge("serve.queue.depth").set(7)
+    hist = registry.histogram("serve.batch_fill", buckets=(1, 2, 4))
+    for value in (1, 2, 3, 5):
+        hist.observe(value)
+    family = registry.counter_family("serve.shard.intervals_scored", ("shard",))
+    family.labels(shard="0").inc(10)
+    family.labels(shard="1").inc(12)
+    return registry
+
+
+class TestRenderOpenmetrics:
+    def test_counter_gets_total_suffix_and_sanitised_name(self):
+        text = render_openmetrics(_registry_with_everything().snapshot())
+        assert "# TYPE repro_serve_queue_dropped counter" in text
+        assert "repro_serve_queue_dropped_total 3" in text
+
+    def test_gauge_plain(self):
+        text = render_openmetrics(_registry_with_everything().snapshot())
+        assert "repro_serve_queue_depth 7" in text
+
+    def test_labelled_family_grouped_under_one_type_line(self):
+        text = render_openmetrics(_registry_with_everything().snapshot())
+        assert text.count("# TYPE repro_serve_shard_intervals_scored counter") == 1
+        assert 'repro_serve_shard_intervals_scored_total{shard="0"} 10' in text
+        assert 'repro_serve_shard_intervals_scored_total{shard="1"} 12' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_openmetrics(_registry_with_everything().snapshot())
+        assert 'repro_serve_batch_fill_bucket{le="1.0"} 1' in text
+        assert 'repro_serve_batch_fill_bucket{le="2.0"} 2' in text
+        assert 'repro_serve_batch_fill_bucket{le="4.0"} 3' in text
+        assert 'repro_serve_batch_fill_bucket{le="+Inf"} 4' in text
+        assert "repro_serve_batch_fill_sum 11.0" in text
+        assert "repro_serve_batch_fill_count 4" in text
+
+    def test_quantile_gauges_ride_along(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=log_buckets(1, 1000))
+        for value in range(1, 101):
+            hist.observe(float(value))
+        text = render_openmetrics(registry.snapshot())
+        assert "# TYPE repro_lat_quantile gauge" in text
+        assert 'repro_lat_quantile{quantile="p50"}' in text
+        assert 'repro_lat_quantile{quantile="p99"}' in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics({}).endswith("# EOF\n")
+        text = render_openmetrics(_registry_with_everything().snapshot())
+        assert text.endswith("# EOF\n")
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        text = render_openmetrics(registry.snapshot(), prefix="mhm")
+        assert "mhm_x_total 1" in text

@@ -1,0 +1,185 @@
+"""Registry v2: reservoir quantiles, labelled families, shard merge."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_RESERVOIR_SIZE,
+    Histogram,
+    MetricsRegistry,
+    NOOP_METRICS,
+    labeled_name,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_geometric_coverage(self):
+        bounds = log_buckets(10.0, 1_000.0, per_decade=2)
+        assert bounds[0] == 10.0
+        assert bounds[-1] >= 1_000.0
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(abs(r - ratios[0]) < 1e-9 for r in ratios)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_buckets(10.0, 10.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 10.0, per_decade=0)
+
+
+class TestReservoir:
+    def test_memory_stays_flat_over_long_soak(self):
+        # Satellite (b): the regression that motivated the reservoir —
+        # raw-sample retention must be bounded no matter how many
+        # observations land.
+        hist = Histogram("soak", buckets=(1.0, 10.0, 100.0))
+        for i in range(100_000):
+            hist.observe(float(i % 1000))
+        assert len(hist._samples) == DEFAULT_RESERVOIR_SIZE
+        assert len(hist.bucket_counts) == 4  # 3 bounds + overflow
+        assert hist.count == 100_000
+
+    def test_exact_quantiles_below_reservoir_size(self):
+        hist = Histogram("small", buckets=(1e9,))
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.estimate_quantile(0.0) == 1.0
+        assert hist.estimate_quantile(1.0) == 100.0
+        assert hist.estimate_quantile(0.5) == pytest.approx(50.5)
+
+    def test_estimates_reasonable_beyond_reservoir_size(self):
+        hist = Histogram("big", buckets=(1e9,))
+        for value in range(10_000):
+            hist.observe(float(value))
+        p50 = hist.estimate_quantile(0.5)
+        # Uniform subsample of a uniform stream: the median estimate
+        # should land well inside the middle half.
+        assert 2_500 < p50 < 7_500
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            hist = Histogram(name, buckets=(1e9,))
+            for value in range(5_000):
+                hist.observe(float(value))
+            return list(hist._samples)
+
+        assert fill("same") == fill("same")
+
+    def test_quantiles_dict_shape(self):
+        hist = Histogram("q", buckets=(1e9,))
+        hist.observe(5.0)
+        assert set(hist.quantiles()) == {"p50", "p95", "p99"}
+
+    def test_empty_reservoir_falls_back_to_buckets(self):
+        hist = Histogram("merged", buckets=(10.0, 20.0))
+        hist.bucket_counts[0] = 4  # as if reconstructed from a snapshot
+        hist.count = 4
+        assert hist._samples == []
+        assert hist.estimate_quantile(0.5) == 10.0
+
+    def test_reservoir_size_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0,), reservoir_size=0)
+
+
+class TestFamilies:
+    def test_labeled_name_is_sorted_and_stable(self):
+        assert labeled_name("m", {"b": 1, "a": "x"}) == 'm{a="x",b="1"}'
+        assert labeled_name("m", {"a": "x", "b": 1}) == 'm{a="x",b="1"}'
+
+    def test_children_are_memoised(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family("serve.scored", ("shard",))
+        child = family.labels(shard="0")
+        assert family.labels(shard="0") is child
+        child.inc(3)
+        assert registry.get('serve.scored{shard="0"}').value == 3
+
+    def test_child_snapshot_carries_labels_and_family(self):
+        registry = MetricsRegistry()
+        registry.gauge_family("depth", ("shard",)).labels(shard="2").set(9)
+        snap = registry.snapshot()['depth{shard="2"}']
+        assert snap["labels"] == {"shard": "2"}
+        assert snap["family"] == "depth"
+
+    def test_wrong_label_names_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family("serve.scored", ("shard",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(device="0")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter_family("f", ("shard",))
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge_family("f", ("shard",))
+
+    def test_histogram_family_custom_buckets(self):
+        registry = MetricsRegistry()
+        family = registry.histogram_family("lat", ("shard",), buckets=(1.0, 2.0))
+        assert family.labels(shard="0").bounds == (1.0, 2.0)
+
+    def test_noop_families_share_singletons(self):
+        family = NOOP_METRICS.counter_family("x", ("shard",))
+        assert family.labels(shard="0") is family.labels(shard="1")
+        family.labels(shard="0").inc()  # inert
+
+
+class TestMergeSnapshot:
+    def test_counters_add_gauges_overwrite(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(5)
+        source.gauge("g").set(3.0)
+        target = MetricsRegistry()
+        target.counter("c").inc(2)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("c").value == 7
+        assert target.gauge("g").value == 3.0
+
+    def test_histograms_merge_bucket_by_bucket(self):
+        def build():
+            registry = MetricsRegistry()
+            hist = registry.histogram("h", buckets=(1.0, 2.0))
+            for value in (0.5, 1.5, 9.0):
+                hist.observe(value)
+            return registry
+
+        target = build()
+        target.merge_snapshot(build().snapshot())
+        merged = target.histogram("h", buckets=(1.0, 2.0))
+        assert merged.count == 6
+        assert merged.total == pytest.approx(22.0)
+        assert merged.bucket_counts == [2, 2, 2]
+        assert merged.min == 0.5 and merged.max == 9.0
+
+    def test_bound_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(1.0, 5.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_labels_survive_the_merge(self):
+        source = MetricsRegistry()
+        source.counter_family("scored", ("shard",)).labels(shard="1").inc(4)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        child = target.get('scored{shard="1"}')
+        assert child.value == 4
+        assert child.labels == {"shard": "1"}
+        assert child.family == "scored"
+
+    def test_merge_survives_json_round_trip(self):
+        import json
+
+        from repro.obs import to_jsonable
+
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(json.dumps(to_jsonable(source.snapshot())))
+        target = MetricsRegistry()
+        target.merge_snapshot(payload)
+        assert target.histogram("h", buckets=(1.0,)).count == 1

@@ -1,0 +1,114 @@
+"""Snapshot writer cadence, atomicity and the reader side."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.snapshots import (
+    EVENT_FEED,
+    FEED_LIMIT,
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotWriter,
+    latest_snapshots,
+    load_snapshots,
+)
+
+
+@pytest.fixture
+def live_obs():
+    with obs.observed() as (metrics, _):
+        metrics.counter("serve.alarms").inc(2)
+        yield metrics
+
+
+class TestWriter:
+    def test_cadence_is_one_based_modulo(self, tmp_path, live_obs):
+        writer = SnapshotWriter(tmp_path, interval=3)
+        fired = [writer.maybe_write(step, sim_time_ns=step * 10) for step in range(1, 8)]
+        assert fired == [False, False, True, False, False, True, False]
+        assert writer.seq == 2
+
+    def test_no_interval_means_manual_only(self, tmp_path, live_obs):
+        writer = SnapshotWriter(tmp_path)
+        assert not writer.maybe_write(1, sim_time_ns=0)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotWriter(tmp_path, interval=0)
+
+    def test_payload_shape(self, tmp_path, live_obs):
+        writer = SnapshotWriter(
+            tmp_path, shard=2, meta={"devices": 4, "seed": 7}
+        )
+        path = writer.write(step=5, sim_time_ns=1_000)
+        assert path.name == "shard2-000001.metrics.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SNAPSHOT_SCHEMA_VERSION
+        assert payload["shard"] == 2
+        assert payload["seq"] == 1
+        assert payload["step"] == 5
+        assert payload["sim_time_ns"] == 1_000
+        assert payload["final"] is False
+        assert payload["meta"] == {"devices": 4, "seed": 7}
+        assert payload["metrics"]["serve.alarms"]["value"] == 2
+        assert payload["recent_events"] == []
+
+    def test_openmetrics_sidecar_written(self, tmp_path, live_obs):
+        SnapshotWriter(tmp_path).write(step=1, sim_time_ns=0)
+        om = (tmp_path / "shard0-000001.om").read_text()
+        assert "repro_serve_alarms_total 2" in om
+        assert om.endswith("# EOF\n")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_final_flag(self, tmp_path, live_obs):
+        writer = SnapshotWriter(tmp_path)
+        path = writer.write_final(step=9, sim_time_ns=90)
+        assert json.loads(path.read_text())["final"] is True
+
+    def test_recent_events_feed_filtered_and_capped(self, tmp_path, live_obs):
+        log = obs.logger()
+        log.event("serve.start", devices=1, shards=1, intervals=1,
+                  policy="p", batch_size=1)  # not in the feed
+        for i in range(FEED_LIMIT + 5):
+            log.event("serve.alarm", interval=i, streak=1)
+        payload = json.loads(
+            SnapshotWriter(tmp_path).write(step=1, sim_time_ns=0).read_text()
+        )
+        events = payload["recent_events"]
+        assert len(events) == FEED_LIMIT
+        assert all(e["event"] in EVENT_FEED for e in events)
+        assert events[-1]["fields"]["interval"] == FEED_LIMIT + 4
+
+
+class TestReaders:
+    def _write_series(self, tmp_path):
+        with obs.observed():
+            for shard in (0, 1):
+                writer = SnapshotWriter(tmp_path, shard=shard)
+                writer.write(step=1, sim_time_ns=10)
+                writer.write_final(step=2, sim_time_ns=20)
+
+    def test_load_groups_by_shard_sorted_by_seq(self, tmp_path):
+        self._write_series(tmp_path)
+        series = load_snapshots(tmp_path)
+        assert sorted(series) == [0, 1]
+        assert [s["seq"] for s in series[0]] == [1, 2]
+        assert series[1][-1]["final"] is True
+
+    def test_latest_picks_newest_per_shard(self, tmp_path):
+        self._write_series(tmp_path)
+        latest = latest_snapshots(tmp_path)
+        assert {shard: s["seq"] for shard, s in latest.items()} == {0: 2, 1: 2}
+
+    def test_torn_and_foreign_files_skipped(self, tmp_path):
+        self._write_series(tmp_path)
+        (tmp_path / "shard0-000099.metrics.json").write_text("{not json")
+        (tmp_path / "notes.txt").write_text("ignore me")
+        series = load_snapshots(tmp_path)
+        assert [s["seq"] for s in series[0]] == [1, 2]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_snapshots(tmp_path / "nope") == {}
+        assert latest_snapshots(tmp_path / "nope") == {}

@@ -1,0 +1,174 @@
+"""Fleet telemetry: serial ≡ sharded with everything on, merge, health.
+
+The PR-1 contract says telemetry must never perturb scoring.  These
+tests turn *all* of it on — metrics, tracing, logging, snapshots — and
+assert the fleet report stays bit-identical across shard counts, then
+check the merged telemetry itself is deterministic and complete.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.obs.snapshots import load_snapshots
+from repro.serve import (
+    SERVE_TRACE_CATEGORIES,
+    FleetService,
+    TelemetryConfig,
+    health_summary,
+    write_health,
+)
+
+
+def _run(config_factory, tmp_path=None, shards=1, **telemetry_overrides):
+    """One fully-telemetered run; returns (report, metrics, tracer, log)."""
+    with obs.observed(trace_categories=SERVE_TRACE_CATEGORIES) as (metrics, tracer):
+        overrides = dict(telemetry_overrides)
+        if tmp_path is not None:
+            overrides.setdefault("metrics_dir", str(tmp_path))
+            overrides.setdefault("metrics_interval", 4)
+        telemetry = TelemetryConfig.from_current(**overrides)
+        report = FleetService(
+            config_factory(shards=shards), telemetry=telemetry
+        ).run()
+        records = obs.logger().records()
+        events = list(tracer.events)
+        snapshot = metrics.snapshot()
+    return report, snapshot, events, records
+
+
+class TestSerialShardedEquivalence:
+    def test_reports_bit_identical_with_full_telemetry(
+        self, config_factory, tmp_path
+    ):
+        serial, *_ = _run(config_factory, tmp_path / "s1", shards=1)
+        sharded, *_ = _run(config_factory, tmp_path / "s2", shards=2)
+        assert serial.canonical_dict() == sharded.canonical_dict()
+        assert serial.fleet_digest == sharded.fleet_digest
+
+    def test_trace_id_sets_match_across_shard_counts(
+        self, config_factory, tmp_path
+    ):
+        _, _, serial_events, _ = _run(config_factory, shards=1)
+        _, _, sharded_events, _ = _run(config_factory, shards=2)
+
+        def trace_ids(events):
+            return {
+                e["args"]["trace_id"]
+                for e in events
+                if "args" in e and "trace_id" in e.get("args", {})
+            }
+
+        serial_ids = trace_ids(serial_events)
+        assert serial_ids  # the fleet actually traced something
+        assert serial_ids == trace_ids(sharded_events)
+
+    def test_same_run_twice_gives_identical_telemetry(self, config_factory):
+        first = _run(config_factory, shards=1)
+        second = _run(config_factory, shards=1)
+        assert first[0].canonical_dict() == second[0].canonical_dict()
+        assert first[2] == second[2]  # trace events, byte-for-byte
+        assert first[3] == second[3]  # log records
+
+
+class TestShardMerge:
+    def test_counters_aggregate_across_shards(self, config_factory):
+        report, snapshot, _, _ = _run(config_factory, shards=2)
+        per_shard = [
+            snapshot[f'serve.shard.intervals_scored{{shard="{s}"}}']["value"]
+            for s in (0, 1)
+        ]
+        assert sum(per_shard) == report.scored
+        assert all(v > 0 for v in per_shard)
+
+    def test_log_records_merged_in_shard_order(self, config_factory):
+        _, _, _, records = _run(config_factory, shards=2)
+        events = [r["event"] for r in records]
+        assert events[:2] == ["serve.start", "serve.detectors.ready"]
+        assert events[-1] == "serve.report.ready"
+        assert events.count("serve.shard.start") == 2
+        assert events.count("serve.shard.done") == 2
+        # Shard 0's records precede shard 1's (deterministic merge).
+        starts = [r["shard"] for r in records if r["event"] == "serve.shard.start"]
+        assert starts == [0, 1]
+
+    def test_snapshot_files_written_per_shard(self, config_factory, tmp_path):
+        _run(config_factory, tmp_path, shards=2)
+        series = load_snapshots(tmp_path)
+        assert sorted(series) == [0, 1]
+        for shard, snapshots in series.items():
+            assert snapshots[-1]["final"] is True
+            assert snapshots[-1]["meta"]["devices"] == 2
+            metrics = snapshots[-1]["metrics"]
+            assert (
+                metrics[f'serve.shard.intervals_scored{{shard="{shard}"}}']["value"]
+                > 0
+            )
+
+    def test_disabled_telemetry_returns_no_payload(self, config_factory):
+        report = FleetService(
+            config_factory(shards=2), telemetry=TelemetryConfig.disabled()
+        ).run()
+        assert report.devices == 4
+        assert not obs.metrics().enabled
+
+
+class TestTelemetryConfig:
+    def test_from_current_mirrors_obs_state(self):
+        assert not TelemetryConfig.from_current().any_enabled
+        with obs.observed(trace_categories=("serve",)):
+            telemetry = TelemetryConfig.from_current()
+            assert telemetry.metrics and telemetry.tracing and telemetry.logging
+            assert telemetry.trace_categories == ("serve",)
+
+    def test_overrides_win(self, tmp_path):
+        with obs.observed():
+            telemetry = TelemetryConfig.from_current(
+                metrics_dir=str(tmp_path), metrics_interval=7
+            )
+        assert telemetry.metrics_dir == str(tmp_path)
+        assert telemetry.metrics_interval == 7
+
+
+def _report_like(**overrides):
+    base = dict(
+        devices=4, intervals=8, emitted=32, dropped=0, skipped=0,
+        scored=32, devices_drifted=0, alarms=2, fleet_digest="abc123",
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestHealth:
+    def test_ready_when_all_critical_pass(self):
+        summary = health_summary(_report_like())
+        assert summary["ready"] is True
+        assert summary["status"] == "ready"
+        assert {c["name"] for c in summary["checks"]} == {
+            "complete", "no_loss", "detectors", "no_drift",
+        }
+
+    def test_loss_unreadies(self):
+        summary = health_summary(_report_like(dropped=3))
+        assert summary["ready"] is False
+        assert summary["status"] == "degraded"
+        failing = {c["name"] for c in summary["checks"] if not c["ok"]}
+        assert failing == {"no_loss"}
+
+    def test_drift_degrades_but_stays_ready(self):
+        summary = health_summary(_report_like(devices_drifted=1))
+        assert summary["ready"] is True
+        assert summary["status"] == "degraded"
+
+    def test_write_health_round_trips(self, tmp_path):
+        path = tmp_path / "health.json"
+        summary = write_health(path, _report_like())
+        assert json.loads(path.read_text()) == summary
+
+    def test_real_report_is_ready(self, config_factory):
+        report = FleetService(config_factory()).run()
+        summary = health_summary(report)
+        assert summary["ready"] is True
+        assert summary["fleet_digest"] == report.fleet_digest

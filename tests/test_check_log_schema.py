@@ -1,0 +1,80 @@
+"""The static log-schema checker catches what runtime paths might miss."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_log_schema  # noqa: E402
+from repro.obs.log import EVENTS  # noqa: E402
+
+
+def _violations(tmp_path, source):
+    path = tmp_path / "snippet.py"
+    path.write_text(source)
+    return [msg for _, _, msg in check_log_schema.check_file(path, EVENTS)]
+
+
+class TestCheckFile:
+    def test_clean_call_passes(self, tmp_path):
+        assert _violations(
+            tmp_path,
+            'log.event("serve.alarm", device_id="d", shard=0, interval=1, streak=3)\n',
+        ) == []
+
+    def test_unregistered_event_flagged(self, tmp_path):
+        msgs = _violations(tmp_path, 'log.event("serve.bogus")\n')
+        assert msgs == ["unregistered event 'serve.bogus'"]
+
+    def test_undeclared_field_flagged(self, tmp_path):
+        msgs = _violations(tmp_path, 'self._log.event("serve.alarm", intervall=1)\n')
+        assert len(msgs) == 1
+        assert "undeclared field 'intervall'" in msgs[0]
+
+    def test_computed_name_flagged(self, tmp_path):
+        msgs = _violations(tmp_path, "log.event(name, interval=1)\n")
+        assert msgs == ["event name must be a string literal (got an expression)"]
+
+    def test_star_kwargs_flagged(self, tmp_path):
+        msgs = _violations(tmp_path, 'log.event("serve.alarm", **extra)\n')
+        assert any("**kwargs" in m for m in msgs)
+
+    def test_obs_logger_receiver_matched(self, tmp_path):
+        msgs = _violations(tmp_path, 'obs.logger().event("nope")\n')
+        assert msgs == ["unregistered event 'nope'"]
+
+    def test_unrelated_event_methods_ignored(self, tmp_path):
+        assert _violations(tmp_path, 'dispatcher.event("anything", x=1)\n') == []
+
+    def test_envelope_keywords_always_allowed(self, tmp_path):
+        assert _violations(
+            tmp_path,
+            'log.event("serve.queue.stall", level="warn", sim_time_ns=1,'
+            " seed=0, depth=2)\n",
+        ) == []
+
+
+class TestWholeTree:
+    def test_src_tree_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, "tools/check_log_schema.py", "src"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+
+    def test_violation_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text('log.event("serve.alarm", bogus=1)\n')
+        result = subprocess.run(
+            [sys.executable, "tools/check_log_schema.py", str(bad)],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 1
+        assert "undeclared field" in result.stderr

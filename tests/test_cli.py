@@ -566,3 +566,94 @@ class TestServeCommand:
         captured = capsys.readouterr()
         assert code == 2
         assert "invalid fleet report" in captured.err
+
+
+class TestServeTelemetryCLI:
+    """The observability surface added by the fleet-telemetry PR."""
+
+    TINY = [
+        "serve", "--devices", "3", "--intervals", "6", "--seed", "11",
+        "--train-runs", "1", "--train-intervals", "40",
+        "--validation", "40",
+    ]
+
+    def _run(self, extra, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        code = main([*self.TINY, "--cache-dir", cache, *extra])
+        return code, capsys.readouterr()
+
+    def test_log_flag_writes_structured_jsonl(self, tmp_path, capsys):
+        log_path = tmp_path / "serve.jsonl"
+        code, _ = self._run(["--log", str(log_path)], tmp_path, capsys)
+        assert code == EXIT_OK
+        records = [json.loads(l) for l in log_path.read_text().splitlines()]
+        assert records[0]["event"] == "serve.start"
+        assert records[-1]["event"] == "serve.report.ready"
+        assert all("seq" in r and "component" in r for r in records)
+
+    def test_health_out_is_ready_for_clean_run(self, tmp_path, capsys):
+        health = tmp_path / "health.json"
+        code, captured = self._run(["--health-out", str(health)], tmp_path, capsys)
+        assert code == EXIT_OK
+        summary = json.loads(health.read_text())
+        assert summary["ready"] is True
+        assert "NOT ready" not in captured.err
+
+    def test_degraded_run_warns_on_stderr(self, tmp_path, capsys):
+        health = tmp_path / "health.json"
+        code, captured = self._run(
+            [
+                "--health-out", str(health),
+                "--policy", "drop-oldest", "--capacity", "4",
+                "--batch", "4", "--drain-per-step", "1",
+            ],
+            tmp_path, capsys,
+        )
+        summary = json.loads(health.read_text())
+        assert summary["ready"] is False
+        assert "health NOT ready" in captured.err
+        assert "no_loss" in captured.err
+
+    def test_metrics_out_prints_service_counter_footer(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code, captured = self._run(["--metrics-out", str(metrics)], tmp_path, capsys)
+        assert code == EXIT_OK
+        assert "service telemetry" in captured.out
+        assert "serve.shard.intervals_scored" in captured.out
+
+    def test_metrics_dir_feeds_repro_top_once(self, tmp_path, capsys):
+        snaps = tmp_path / "snaps"
+        code, _ = self._run(
+            [
+                "--metrics-out", str(tmp_path / "m.json"),
+                "--metrics-dir", str(snaps), "--metrics-interval", "3",
+            ],
+            tmp_path, capsys,
+        )
+        assert code == EXIT_OK
+        assert list(snaps.glob("*.metrics.json"))
+        code = main(["top", "--once", str(snaps)])
+        captured = capsys.readouterr()
+        assert code == EXIT_OK
+        assert "repro top" in captured.out
+        assert "shard" in captured.out
+        assert "scored" in captured.out
+
+    def test_top_on_empty_directory_renders_placeholder(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        code = main(["top", "--once", str(tmp_path / "empty")])
+        captured = capsys.readouterr()
+        assert code == EXIT_OK
+        assert "no snapshots" in captured.out
+
+    def test_stats_shows_service_counters_from_serve_manifest(
+        self, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        code, _ = self._run(["--metrics-out", str(metrics)], tmp_path, capsys)
+        assert code == EXIT_OK
+        code = main(["stats", str(metrics)])
+        captured = capsys.readouterr()
+        assert code == EXIT_OK
+        assert "service counters" in captured.out
+        assert "serve.alarms" in captured.out or "serve.shard" in captured.out

@@ -1,0 +1,104 @@
+"""`repro top` rendering: synthetic snapshots, no serve run needed."""
+
+import io
+
+from repro.viz.top import STREAM_ROWS, render_top, run_top
+
+
+def _snapshot(shard=0, step=4, final=False, scored=12, events=()):
+    metrics = {
+        f'serve.shard.intervals_scored{{shard="{shard}"}}': {
+            "type": "counter", "value": scored,
+        },
+        f'serve.shard.queue_depth{{shard="{shard}"}}': {
+            "type": "gauge", "value": 3,
+        },
+        "serve.queue.dropped": {"type": "counter", "value": 1},
+        "serve.alarms": {"type": "counter", "value": 2},
+        f'serve.shard.batch_latency_us{{shard="{shard}"}}': {
+            "type": "histogram",
+            "count": scored,
+            "quantiles": {"p50": 950.0, "p95": 2_400.0, "p99": 9_100.0},
+        },
+    }
+    return {
+        "shard": shard,
+        "seq": step,
+        "step": step,
+        "sim_time_ns": step * 10_000_000,
+        "final": final,
+        "metrics": metrics,
+        "recent_events": list(events),
+    }
+
+
+class TestRenderTop:
+    def test_empty_directory_placeholder(self):
+        out = render_top({}, source="snaps/")
+        assert "no snapshots yet" in out
+        assert "snaps/" in out
+
+    def test_shard_table_and_header_totals(self):
+        out = render_top({0: _snapshot(0), 1: _snapshot(1)}, source="d")
+        assert "[shards: 2  scored: 24  alarms: 4  live]" in out
+        assert "shards" in out
+        assert "p95" in out
+
+    def test_latency_quantiles_formatted(self):
+        out = render_top({0: _snapshot()})
+        assert "950µs" in out
+        assert "2.4ms" in out
+        assert "9.1ms" in out
+
+    def test_final_badge_when_all_shards_final(self):
+        out = render_top({0: _snapshot(0, final=True), 1: _snapshot(1, final=True)})
+        assert "final]" in out
+        assert "live]" not in out
+
+    def test_event_stream_merged_by_sim_time_and_capped(self):
+        events = [
+            {
+                "event": "serve.alarm",
+                "sim_time_ns": i * 1_000_000,
+                "seq": i,
+                "device_id": f"dev-{i:04d}",
+                "fields": {"interval": i, "streak": 3},
+            }
+            for i in range(STREAM_ROWS + 5)
+        ]
+        out = render_top({0: _snapshot(events=events[::2]),
+                          1: _snapshot(shard=1, events=events[1::2])})
+        assert "recent events" in out
+        # Capped to the last STREAM_ROWS across both shards, newest last.
+        assert f"dev-{STREAM_ROWS + 4:04d}" in out
+        assert "dev-0000" not in out
+        assert "interval=14 streak=3" in out
+
+    def test_no_event_section_when_feed_empty(self):
+        assert "recent events" not in render_top({0: _snapshot()})
+
+
+class TestRunTop:
+    def test_once_renders_single_frame(self, tmp_path):
+        stream = io.StringIO()
+        frames = run_top(tmp_path, once=True, stream=stream)
+        assert frames == 1
+        assert "no snapshots yet" in stream.getvalue()
+
+    def test_stops_when_all_shards_final(self, tmp_path):
+        import json
+
+        (tmp_path / "shard0-000001.metrics.json").write_text(
+            json.dumps(_snapshot(final=True))
+        )
+        stream = io.StringIO()
+        frames = run_top(tmp_path, interval=0.0, stream=stream, width=400)
+        assert frames == 1
+        assert "final]" in stream.getvalue()
+
+    def test_max_frames_bounds_live_loop(self, tmp_path):
+        stream = io.StringIO()
+        frames = run_top(tmp_path, interval=0.0, stream=stream, max_frames=3)
+        assert frames == 3
+        # Refresh-in-place: later frames are preceded by a clear escape.
+        assert stream.getvalue().count("\x1b[2J") == 2

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Static checker: every ``.event(...)`` call matches the log schema.
+
+The structured logger validates event names and fields at runtime, but
+a misspelled field on a rarely-hit path (a drift warning, a fault
+branch) only blows up when that path fires — in production, not in CI.
+This checker closes the gap statically: it walks every ``.event(...)``
+call in ``src/`` whose receiver looks like a structured logger and
+asserts, against the registry in :mod:`repro.obs.log`:
+
+* the event name is a string literal registered in ``EVENTS``;
+* every keyword is either an envelope field (``level``, ``device_id``,
+  ``shard``, ``sim_time_ns``, ``seed``, ``trace``) or declared in the
+  event's field set;
+* no ``**kwargs`` unpacking (it would defeat static checking) and no
+  computed event names.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_log_schema.py [src/]
+
+Exits non-zero listing every violation.  Wired into ``make test-fast``
+and the CI lint lane.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+#: Receiver names that we treat as structured loggers.  Matches the
+#: repo convention: ``log = obs.logger()`` / ``self._log``.
+LOGGER_NAMES = frozenset({"log", "_log", "logger", "_logger", "parent_log"})
+
+#: Envelope keywords accepted by ``StructuredLogger.event`` on top of
+#: each event's declared field set.
+ENVELOPE_KEYWORDS = frozenset(
+    {"level", "device_id", "shard", "sim_time_ns", "seed", "trace"}
+)
+
+
+def _load_events():
+    from repro.obs.log import EVENTS
+
+    return EVENTS
+
+
+def _receiver_is_logger(func: ast.Attribute) -> bool:
+    """True for ``log.event`` / ``self._log.event`` / ``obs.logger().event``."""
+    target = func.value
+    if isinstance(target, ast.Name):
+        return target.id in LOGGER_NAMES
+    if isinstance(target, ast.Attribute):
+        return target.attr in LOGGER_NAMES
+    if isinstance(target, ast.Call):
+        callee = target.func
+        return (
+            isinstance(callee, ast.Attribute) and callee.attr == "logger"
+        ) or (isinstance(callee, ast.Name) and callee.id == "logger")
+    return False
+
+
+def check_file(path: pathlib.Path, events) -> list:
+    violations = []
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - the suite would fail first
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "event"):
+            continue
+        if not _receiver_is_logger(func):
+            continue
+        where = (path, node.lineno)
+        if not node.args:
+            violations.append((*where, "event() call without an event name"))
+            continue
+        name_node = node.args[0]
+        if not (isinstance(name_node, ast.Constant) and isinstance(name_node.value, str)):
+            violations.append(
+                (*where, "event name must be a string literal (got an expression)")
+            )
+            continue
+        name = name_node.value
+        spec = events.get(name)
+        if spec is None:
+            violations.append((*where, f"unregistered event {name!r}"))
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                violations.append(
+                    (*where, f"{name}: **kwargs unpacking defeats static checking")
+                )
+                continue
+            if keyword.arg in ENVELOPE_KEYWORDS:
+                continue
+            if keyword.arg not in spec.fields:
+                declared = ", ".join(sorted(spec.fields)) or "(none)"
+                violations.append(
+                    (
+                        *where,
+                        f"{name}: undeclared field {keyword.arg!r} "
+                        f"(declares: {declared})",
+                    )
+                )
+    return violations
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    roots = [pathlib.Path(arg) for arg in argv] or [pathlib.Path("src")]
+    events = _load_events()
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+    violations = []
+    for path in files:
+        violations.extend(check_file(path, events))
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}", file=sys.stderr)
+    checked = len(files)
+    if violations:
+        print(
+            f"check_log_schema: {len(violations)} violation(s) "
+            f"across {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_log_schema: OK ({checked} files, {len(events)} registered events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
