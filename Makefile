@@ -12,7 +12,8 @@ test:
 # Coverage is opt-in by installation: when pytest-cov is importable
 # (CI installs it; see .github/workflows/ci.yml) test-fast collects
 # line coverage and enforces the floors in tools/check_coverage.py
-# (>=85% on src/repro/serve/, never below tools/coverage_baseline.json
+# (>=85% on src/repro/serve/, src/repro/attacks/ and
+# src/repro/conformance/, never below tools/coverage_baseline.json
 # for the rest).  Without pytest-cov the suite runs uninstrumented.
 COVFLAGS := $(shell $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1 \
     && echo "--cov=src/repro --cov-report=html:htmlcov --cov-report=json:coverage.json")

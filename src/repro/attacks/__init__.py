@@ -1,9 +1,21 @@
-"""The paper's attack scenarios (Section 5.3)."""
+"""The attack corpus: the paper's scenarios plus adversarial additions.
+
+Section 5.3's three attacks (application launch, shellcode, rootkit)
+are joined by four adversaries designed to stress the detector's blind
+spots — mimicry padding, slow-drift exfiltration, an interrupt storm
+and an SMM-style absence attack.  Every attack declares its expected
+conformance outcomes (see :mod:`repro.conformance.matrix` and
+``docs/attacks.md``).
+"""
 
 from .app_launch import AppLaunchAttack
 from .base import Attack, AttackError
+from .interrupt_storm import InterruptStormAttack
+from .mimicry import MimicryShellcodeAttack
 from .rootkit import SyscallHijackRootkit
 from .shellcode import ShellcodeAttack
+from .slow_drift import SlowDriftExfiltration
+from .smm import SmmShadowAttack
 
 __all__ = [
     "Attack",
@@ -11,4 +23,8 @@ __all__ = [
     "AppLaunchAttack",
     "ShellcodeAttack",
     "SyscallHijackRootkit",
+    "MimicryShellcodeAttack",
+    "SlowDriftExfiltration",
+    "InterruptStormAttack",
+    "SmmShadowAttack",
 ]

@@ -40,6 +40,13 @@ class AppLaunchAttack(Attack):
 
     name = "app-launch"
 
+    expected_outcomes = {
+        "gmm-alarm": "detect",
+        "gmm-interval": "detect",
+        "drift": "drift-flag",
+        "fpr-budget": "within-budget",
+    }
+
     def __init__(
         self,
         task: Optional[TaskDefinition] = None,

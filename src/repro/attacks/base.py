@@ -11,7 +11,7 @@ and the interval bookkeeping.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.platform import Platform
@@ -28,6 +28,15 @@ class Attack(abc.ABC):
 
     #: Human-readable scenario name.
     name: str = "attack"
+
+    #: Conformance declarations: detector-column name → expected outcome
+    #: (see :mod:`repro.conformance.matrix`).  Every attack registered in
+    #: :data:`repro.pipeline.stages.SCENARIOS` must declare one outcome
+    #: per registered detector column — the matrix build refuses to run
+    #: otherwise, so a new attack cannot land without stating how each
+    #: detector is expected to fare against it (detect / known-miss /
+    #: drift-flag / FPR budget).
+    expected_outcomes: Mapping[str, str] = {}
 
     @abc.abstractmethod
     def inject(self, platform: "Platform") -> None:

@@ -1,0 +1,101 @@
+"""Scenario: interrupt storm / interference anomaly.
+
+The paper's Limitation section (5.5) treats aperiodic interrupt load
+as a source of *legitimate* unpredictability; HeatSense-style work
+(arXiv 2504.11421) flips that around: a compromised or malfunctioning
+peripheral that floods the monitored core with receive interrupts is
+itself an anomaly — a denial-of-service on the schedule that shows up
+as kernel-path contention long before any deadline is missed.
+
+The attack arms a rogue periodic interrupt source: every
+``1/rate_hz`` seconds it forces a train of ``burst`` invocations of a
+housekeeping kernel path (default ``kernel.net_rx`` — IRQ entry,
+softirq, protocol handlers), all inside the monitored region.  At the
+default 2 kHz × 3 packets that is ~60 extra net-RX invocations per
+10 ms monitoring interval, an overwhelming composition shift the GMM
+flags immediately.  Reverting disarms the source (the flood stops),
+so fleet injection schedules can exercise recovery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .base import Attack, AttackError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import EventHandle
+    from ..sim.platform import Platform
+
+__all__ = ["InterruptStormAttack"]
+
+
+class InterruptStormAttack(Attack):
+    """A rogue device floods the monitored core with interrupts.
+
+    Parameters
+    ----------
+    rate_hz:
+        Interrupt-train rate of the storm (deterministic, not Poisson —
+        a jammed device asserts its line on a timer).
+    burst:
+        Kernel-service invocations per train (packets per interrupt).
+    service:
+        The kernel path each packet runs (default the net-RX path used
+        by the legitimate :class:`~repro.sim.devices.NetworkDevice`).
+    core:
+        Monitored core that takes the interrupts.
+    """
+
+    name = "interrupt-storm"
+
+    expected_outcomes = {
+        "gmm-alarm": "detect",
+        "gmm-interval": "detect",
+        "drift": "drift-flag",
+        "fpr-budget": "within-budget",
+    }
+
+    def __init__(
+        self,
+        rate_hz: float = 2_000.0,
+        burst: int = 3,
+        service: str = "kernel.net_rx",
+        core: int = 0,
+    ):
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        if core < 0:
+            raise ValueError("core must be non-negative")
+        self.rate_hz = rate_hz
+        self.burst = burst
+        self.service = service
+        self.core = core
+        self._handle: Optional["EventHandle"] = None
+
+    @property
+    def period_ns(self) -> int:
+        """Gap between interrupt trains (integer ns, at least 1)."""
+        return max(1, int(round(1e9 / self.rate_hz)))
+
+    def inject(self, platform: "Platform") -> None:
+        if self._handle is not None:
+            raise AttackError("interrupt storm is already active")
+        if self.service not in platform.kernel.services:
+            raise AttackError(f"no kernel service {self.service!r} to storm")
+        self._handle = platform.sim.schedule_periodic(
+            self.period_ns, self._on_interrupt, platform.kernel
+        )
+
+    def _on_interrupt(self, kernel) -> None:
+        for _ in range(self.burst):
+            kernel.run_service(self.service, core=self.core)
+
+    def revert(self, platform: "Platform") -> None:
+        """Disarm the rogue source; the flood stops at once."""
+        if self._handle is None:
+            raise AttackError("interrupt storm is not active")
+        platform.sim.cancel(self._handle)
+        self._handle = None

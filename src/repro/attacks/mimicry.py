@@ -1,0 +1,197 @@
+"""Scenario: mimicry shellcode.
+
+The classic evasion of anomaly detectors (Wagner & Soto's mimicry
+attacks, applied here to the MHM's eigenmemory projection): shellcode
+that compromises a host task but, instead of spawning a shell and
+killing its host (the paper's easily-detected Scenario 2), stays
+resident and pads its own kernel activity to *look like the victim*.
+
+Two design rules make it stealthy by construction:
+
+* **mix mimicry** — every system call the payload issues is drawn from
+  the victim task's own syscall mix, apportioned proportionally
+  (largest-remainder), so the *direction* of the MHM perturbation is
+  the victim's own eigenmemory projection;
+* **footprint envelope** — the payload's padding rate is capped at
+  ``budget_fraction`` of the victim's mean per-interval kernel
+  invocations (:meth:`MimicryShellcodeAttack.victim_envelope`).  Since
+  the kernel emits whole service invocations, a sub-call rate is
+  realised by *duty cycling*: one padded call every
+  :meth:`cadence_intervals` monitoring intervals, so most intervals
+  see no padding at all and the rest see a single in-mix call — inside
+  the jitter band the GMM was trained to absorb.  All planning methods
+  are pure functions of the task definition; the property suite proves
+  the realised padding rate can never exceed the envelope.
+
+The expected conformance outcome is the uncomfortable one: every
+detector column misses it.  The matrix exists precisely to keep that
+blind spot documented rather than discovered.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sim.task import TaskDefinition
+from .base import Attack, AttackError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import EventHandle
+    from ..sim.platform import Platform
+
+__all__ = ["MimicryShellcodeAttack"]
+
+
+class MimicryShellcodeAttack(Attack):
+    """Resident shellcode that pads its footprint to match its host.
+
+    Parameters
+    ----------
+    host:
+        Task the shellcode was injected into (default ``sha`` — the
+        busiest syscall mix, hence the roomiest envelope to hide in).
+    budget_fraction:
+        Fraction of the victim's mean per-interval kernel invocations
+        the payload may add (the footprint envelope).  The default is
+        deliberately tiny: mimicry trades bandwidth for stealth.
+    cycle_length:
+        Length of the repeating pump cycle the victim's syscall mix is
+        apportioned over (composition granularity).
+    core:
+        Monitored core the payload runs on.
+    """
+
+    name = "mimicry-shellcode"
+
+    expected_outcomes = {
+        "gmm-alarm": "miss",  # designed evasion: padding stays in-envelope
+        "gmm-interval": "miss",
+        "drift": "no-drift",
+        "fpr-budget": "within-budget",
+    }
+
+    def __init__(
+        self,
+        host: str = "sha",
+        budget_fraction: float = 0.015,
+        cycle_length: int = 8,
+        core: int = 0,
+    ):
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        if cycle_length < 1:
+            raise ValueError("cycle_length must be >= 1")
+        if core < 0:
+            raise ValueError("core must be non-negative")
+        self.host = host
+        self.budget_fraction = budget_fraction
+        self.cycle_length = cycle_length
+        self.core = core
+        self._handle: Optional["EventHandle"] = None
+        self._cycle: List[str] = []
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Pure planning (property-tested)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def victim_envelope(task: TaskDefinition, interval_ns: int) -> float:
+        """The victim's mean kernel-service invocations per interval."""
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        calls_per_job = sum(use.count for use in task.syscalls)
+        return calls_per_job * (interval_ns / task.period_ns)
+
+    def padding_rate(self, task: TaskDefinition, interval_ns: int) -> float:
+        """The envelope: padded calls per interval the payload may add."""
+        return self.budget_fraction * self.victim_envelope(task, interval_ns)
+
+    def cadence_intervals(self, task: TaskDefinition, interval_ns: int) -> int:
+        """Monitoring intervals between consecutive padded calls.
+
+        ``ceil(1 / padding_rate)``, so the realised rate ``1/cadence``
+        never exceeds the envelope (the property suite pins this).
+        Returns ``0`` when the victim is too quiet to hide behind at
+        all (zero envelope): the payload stays dormant.
+        """
+        rate = self.padding_rate(task, interval_ns)
+        if rate <= 0.0:
+            return 0
+        return max(1, math.ceil(1.0 / rate))
+
+    def plan(self, task: TaskDefinition) -> List[str]:
+        """The repeating pump cycle: syscall names, victim-proportioned.
+
+        ``cycle_length`` pump slots are apportioned across the victim's
+        syscall mix by largest remainder, so the padding's composition
+        matches the victim's as closely as whole invocations allow.
+        Deterministic (ties broken by declaration order).
+        """
+        if not task.syscalls:
+            return []
+        total = sum(use.count for use in task.syscalls)
+        if total == 0:
+            return []
+        shares = [
+            (use.name, self.cycle_length * use.count / total)
+            for use in task.syscalls
+        ]
+        counts = {name: int(share) for name, share in shares}
+        remainder = self.cycle_length - sum(counts.values())
+        by_fraction = sorted(
+            shares, key=lambda item: item[1] - int(item[1]), reverse=True
+        )
+        for name, _ in by_fraction[:remainder]:
+            counts[name] += 1
+        cycle: List[str] = []
+        for use in task.syscalls:
+            cycle.extend([use.name] * counts[use.name])
+        return cycle
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def _find_victim(self, platform: "Platform") -> TaskDefinition:
+        for task in platform.config.tasks:
+            if task.name == self.host:
+                return task
+        raise AttackError(f"host task {self.host!r} is not in the task set")
+
+    def inject(self, platform: "Platform") -> None:
+        if self._handle is not None:
+            raise AttackError("mimicry payload is already resident")
+        if self.host not in platform.all_task_names:
+            raise AttackError(f"host task {self.host!r} is not running")
+        victim = self._find_victim(platform)
+        interval_ns = platform.config.interval_ns
+        cadence = self.cadence_intervals(victim, interval_ns)
+        self._cycle = self.plan(victim) if cadence else []
+        self._cursor = 0
+        if not self._cycle:
+            # Victim too quiet to hide behind: the payload stays
+            # dormant but is still "injected" (and revertible).
+            self._handle = platform.sim.schedule_periodic(
+                interval_ns, lambda kernel: None, platform.kernel
+            )
+            return
+        self._handle = platform.sim.schedule_periodic(
+            cadence * interval_ns,
+            self._pad,
+            platform.kernel,
+            start_at=platform.now,
+        )
+
+    def _pad(self, kernel) -> None:
+        syscall = self._cycle[self._cursor % len(self._cycle)]
+        self._cursor += 1
+        kernel.invoke_syscall(syscall, core=self.core)
+
+    def revert(self, platform: "Platform") -> None:
+        """The payload unloads itself (its job done) — host survives."""
+        if self._handle is None:
+            raise AttackError("mimicry payload is not resident")
+        platform.sim.cancel(self._handle)
+        self._handle = None
+        self._cycle = []
+        self._cursor = 0

@@ -53,6 +53,17 @@ class SyscallHijackRootkit(Attack):
 
     name = "rootkit-syscall-hijack"
 
+    expected_outcomes = {
+        # The insmod spike is one loud interval; the post-hijack
+        # perturbation is weak and intermittent (Figure 10), so the raw
+        # per-interval verdicts catch it while the serving layer's
+        # consecutive-interval alarm does not.
+        "gmm-alarm": "miss",
+        "gmm-interval": "detect",
+        "drift": "drift-flag",
+        "fpr-budget": "within-budget",
+    }
+
     def __init__(
         self,
         syscall: str = "read",

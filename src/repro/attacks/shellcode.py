@@ -49,6 +49,13 @@ class ShellcodeAttack(Attack):
 
     name = "shellcode"
 
+    expected_outcomes = {
+        "gmm-alarm": "detect",
+        "gmm-interval": "detect",
+        "drift": "drift-flag",
+        "fpr-budget": "within-budget",
+    }
+
     def __init__(
         self,
         host: str = "bitcount",

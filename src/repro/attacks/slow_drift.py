@@ -1,0 +1,139 @@
+"""Scenario: slow-drift exfiltration.
+
+The adversary the serving layer's alarm rule cannot see: a resident
+payload that leaks data through ordinary system calls at a *fractional*
+per-interval rate, ramping so slowly that flagged intervals stay
+isolated — no run of consecutive sub-θ_p verdicts ever reaches the
+``consecutive_for_alarm`` alarm — yet the *distribution* of densities
+shifts, which is exactly the failure mode the
+:class:`~repro.serve.drift.DriftMonitor` exists to catch (a sustained
+sub-θ rate well above the calibrated p-percent budget).
+
+The pump fires once per monitoring interval; interval *k* since
+injection issues ``pump_count(k)`` extra system calls, where the
+counts are the integer increments of the accumulated fractional rate
+
+    rate(k) = min(start_rate + ramp_per_interval · k, max_rate)
+    pump_count(k) = floor(Σ_{j<=k} rate(j)) − floor(Σ_{j<k} rate(j))
+
+Because ``rate`` never exceeds ``max_rate``, the interval-over-interval
+activity is bounded by construction — ``pump_count(k) <=
+ceil(max_rate)`` for every *k*, and the long-run pump frequency
+approaches ``max_rate`` calls per interval.  The "slow" in slow drift
+is a class invariant the property suite pins, not a tuning accident.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from .base import Attack, AttackError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import EventHandle
+    from ..sim.platform import Platform
+
+__all__ = ["SlowDriftExfiltration"]
+
+
+class SlowDriftExfiltration(Attack):
+    """Exfiltration pump that ramps its syscall rate slowly.
+
+    Parameters
+    ----------
+    syscall:
+        System call the pump leaks through (default ``read`` — it
+        blends into the task set's dominant traffic).
+    start_rate:
+        Pump calls per interval right after injection (may be < 1:
+        the pump then fires only every ``1/start_rate`` intervals).
+    ramp_per_interval:
+        Per-interval increase of the rate.
+    max_rate:
+        Saturation level of the ramp; sized to shift the density
+        distribution without producing consecutive θ_p violations.
+    core:
+        Monitored core the payload runs on.
+    """
+
+    name = "slow-drift"
+
+    expected_outcomes = {
+        "gmm-alarm": "miss",  # never enough consecutive sub-θ intervals
+        "gmm-interval": "detect",  # ...but the raw flag rate exceeds budget
+        "drift": "drift-flag",  # the DriftMonitor is the designed catcher
+        "fpr-budget": "within-budget",
+    }
+
+    def __init__(
+        self,
+        syscall: str = "read",
+        start_rate: float = 0.125,
+        ramp_per_interval: float = 0.01,
+        max_rate: float = 0.4,
+        core: int = 0,
+    ):
+        if start_rate < 0:
+            raise ValueError("start_rate must be non-negative")
+        if ramp_per_interval < 0:
+            raise ValueError("ramp_per_interval must be non-negative")
+        if max_rate < start_rate:
+            raise ValueError("max_rate must be >= start_rate")
+        if core < 0:
+            raise ValueError("core must be non-negative")
+        self.syscall = syscall
+        self.start_rate = start_rate
+        self.ramp_per_interval = ramp_per_interval
+        self.max_rate = max_rate
+        self.core = core
+        self._handle: Optional["EventHandle"] = None
+        self._elapsed = 0
+
+    def rate(self, k: int) -> float:
+        """Target pump rate (calls/interval) in the ``k``-th interval."""
+        if k < 0:
+            raise ValueError("interval index must be non-negative")
+        return min(self.start_rate + self.ramp_per_interval * k, self.max_rate)
+
+    def pump_count(self, k: int) -> int:
+        """Pump invocations in the ``k``-th interval since injection.
+
+        Pure: the integer increment of the accumulated rate.  The
+        property suite pins ``0 <= pump_count(k) <= ceil(max_rate)``
+        and that the cumulative count never exceeds the accumulated
+        rate budget.
+        """
+        if k < 0:
+            raise ValueError("interval index must be non-negative")
+        before = sum(self.rate(j) for j in range(k))
+        return math.floor(before + self.rate(k)) - math.floor(before)
+
+    def inject(self, platform: "Platform") -> None:
+        if self._handle is not None:
+            raise AttackError("slow-drift pump is already running")
+        if self.syscall not in platform.kernel.syscall_table:
+            raise AttackError(f"no syscall {self.syscall!r} to pump through")
+        self._elapsed = 0
+        # The pump wakes every monitoring interval starting now; most
+        # wakes issue no call at all until the accumulated rate crosses
+        # the next integer.
+        self._handle = platform.sim.schedule_periodic(
+            platform.config.interval_ns,
+            self._pump,
+            platform.kernel,
+            start_at=platform.now,
+        )
+
+    def _pump(self, kernel) -> None:
+        count = self.pump_count(self._elapsed)
+        self._elapsed += 1
+        for _ in range(count):
+            kernel.invoke_syscall(self.syscall, core=self.core)
+
+    def revert(self, platform: "Platform") -> None:
+        """The payload's command channel closes; the pump stops."""
+        if self._handle is None:
+            raise AttackError("slow-drift pump is not running")
+        platform.sim.cancel(self._handle)
+        self._handle = None

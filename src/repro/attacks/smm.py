@@ -1,0 +1,136 @@
+"""Scenario: SMM-style absence attack.
+
+Chevalier et al. (arXiv 1803.02700) study attackers that run in System
+Management Mode: their code lives in SMRAM, which no bus-level monitor
+of the kernel text region ever sees.  The simulated attack installs an
+SMI handler on a housekeeping kernel path — the classic entry point is
+the idle loop — that executes its own SMRAM-resident body and then
+*chains to the original handler*, exactly like a real SMM shadow
+resumes the preempted kernel.  The monitored region therefore sees the
+original path's fetches, unchanged; the handler's own fetches land in
+SMRAM and are dropped by the Memometer's address filter.  Dispatch,
+latency and jitter are untouched.
+
+This is the corpus's *documented known-miss*: the attack's entire
+footprint is outside the monitored window, so every detector column
+misses it by construction, and the conformance matrix pins that blind
+spot so a future absence-sensitive modality (per-cell "expected
+activity" floors, SMRAM bus probes) has a ready-made oracle.
+
+Reverting uninstalls the SMI handler and restores the original
+service object.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..sim.kernel.footprint import CompiledFootprint, FootprintStep
+from ..sim.kernel.syscalls import KernelService
+from .base import Attack, AttackError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.platform import Platform
+
+__all__ = ["SMRAM_BASE", "SmmShadowAttack"]
+
+#: TSEG-style SMRAM segment: far below the kernel text window
+#: (0xC0008000+) and module space (0xBF000000+), so every handler
+#: fetch is dropped by the Memometer's address filter.
+SMRAM_BASE = 0x44A0_0000
+
+
+class SmmShadowAttack(Attack):
+    """Shadow a kernel code path with an SMRAM-resident SMI handler.
+
+    Parameters
+    ----------
+    target:
+        Registered kernel service the handler piggybacks on (default
+        ``kernel.idle`` — SMM is conventionally entered from idle).
+    handler_size:
+        Size of the SMRAM-resident handler's text.
+    smram_base:
+        Base address of the handler; must lie outside the monitored
+        region (the default is a TSEG-style segment).
+    """
+
+    name = "smm-shadow"
+
+    expected_outcomes = {
+        # The documented known-miss: the handler's fetches never enter
+        # the monitored window, and the original path still runs.
+        "gmm-alarm": "miss",
+        "gmm-interval": "miss",
+        "drift": "no-drift",
+        "fpr-budget": "within-budget",
+    }
+
+    def __init__(
+        self,
+        target: str = "kernel.idle",
+        handler_size: int = 8 * 1024,
+        smram_base: int = SMRAM_BASE,
+    ):
+        if handler_size <= 0:
+            raise ValueError("handler_size must be positive")
+        if smram_base <= 0:
+            raise ValueError("smram_base must be positive")
+        self.target = target
+        self.handler_size = handler_size
+        self.smram_base = smram_base
+        self._original: Optional[KernelService] = None
+
+    def inject(self, platform: "Platform") -> None:
+        if self._original is not None:
+            raise AttackError("SMM shadow is already installed")
+        kernel = platform.kernel
+        if self.target not in kernel.services:
+            raise AttackError(f"no kernel service {self.target!r} to shadow")
+        spec = platform.spec
+        if spec.base_address <= self.smram_base < spec.base_address + spec.region_size:
+            raise AttackError(
+                "smram_base lies inside the monitored region — that is not SMRAM"
+            )
+        original = kernel.services.get(self.target)
+        handler = kernel.compiler.compile(
+            [
+                FootprintStep(
+                    function=None,
+                    address=self.smram_base,
+                    size=self.handler_size,
+                    iterations=2.0,
+                    coverage=0.9,
+                )
+            ]
+        )
+        # The SMI handler body runs first (SMRAM, invisible), then the
+        # original path exactly as before: same visible fetches, same
+        # latency and jitter.
+        original_fp = original.footprint
+        combined = CompiledFootprint(
+            addresses=np.concatenate([handler.addresses, original_fp.addresses]),
+            step_lengths=np.concatenate(
+                [handler.step_lengths, original_fp.step_lengths]
+            ),
+            mean_iterations=np.concatenate(
+                [handler.mean_iterations, original_fp.mean_iterations]
+            ),
+            jitters=np.concatenate([handler.jitters, original_fp.jitters]),
+        )
+        shadow = KernelService(
+            name=original.name,
+            footprint=combined,
+            latency_ns=original.latency_ns,
+            latency_jitter=original.latency_jitter,
+        )
+        self._original = kernel.services.replace(self.target, shadow)
+
+    def revert(self, platform: "Platform") -> None:
+        """Uninstall the SMI handler: the original service runs again."""
+        if self._original is None:
+            raise AttackError("SMM shadow is not installed")
+        platform.kernel.services.replace(self.target, self._original)
+        self._original = None

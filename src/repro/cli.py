@@ -27,6 +27,10 @@ Python — the workflow a deployment would actually script:
     # and record the perf trajectory in BENCH_kernels.json
     python -m repro.cli bench --smoke --check
 
+    # score every attack scenario against every detector column and
+    # compare with the declared expected outcomes (docs/attacks.md)
+    python -m repro.cli matrix --sizing ci --out conformance_matrix.json
+
     # pretty-print a metrics manifest written with --metrics-out
     python -m repro.cli stats metrics.json
 
@@ -67,6 +71,10 @@ Exit codes (stable; scripts may rely on them):
 * ``6`` — ``serve`` completed **degraded**: one or more interval
   records were dropped under backpressure (``drop-oldest`` policy with
   the queue overflowing).  The fleet report is still written/printed.
+* ``7`` — ``matrix`` found at least one **diverging cell**: a scenario
+  × detector combination whose observed outcome differs from the
+  outcome the attack class declares.  The matrix JSON is still
+  written/printed so the divergence can be inspected.
 
 The single source of truth for these values is the :class:`ExitCode`
 enum below; the ``EXIT_*`` module constants are aliases kept for
@@ -83,6 +91,8 @@ import sys
 import numpy as np
 
 from . import obs
+from .conformance.matrix import SIZINGS as _SIZINGS
+from .conformance.matrix import build_matrix
 from .faults import FaultPlan
 from .learn.detector import MhmDetector
 from .pipeline.cache import ArtifactCache
@@ -116,6 +126,7 @@ __all__ = [
     "EXIT_JOB_FAILURES",
     "EXIT_BENCH_REGRESSION",
     "EXIT_SERVE_DEGRADED",
+    "EXIT_MATRIX_DIVERGENCE",
 ]
 
 
@@ -142,6 +153,8 @@ class ExitCode(enum.IntEnum):
     BENCH_REGRESSION = 5
     #: serve: intervals were dropped under backpressure.
     SERVE_DEGRADED = 6
+    #: matrix: an observed cell outcome diverged from its declaration.
+    MATRIX_DIVERGENCE = 7
 
 
 # Backwards-compatible aliases (public API since PR 1).
@@ -151,6 +164,7 @@ EXIT_ALARM = ExitCode.ALARM
 EXIT_JOB_FAILURES = ExitCode.JOB_FAILURES
 EXIT_BENCH_REGRESSION = ExitCode.BENCH_REGRESSION
 EXIT_SERVE_DEGRADED = ExitCode.SERVE_DEGRADED
+EXIT_MATRIX_DIVERGENCE = ExitCode.MATRIX_DIVERGENCE
 
 LN10 = float(np.log(10.0))
 
@@ -494,6 +508,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     top.add_argument(
         "--width", type=int, default=100, help="frame width (default 100)"
+    )
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="score every attack scenario against every detector column "
+        "and diff against the declared expected outcomes",
+    )
+    matrix.add_argument(
+        "--sizing", choices=sorted(_SIZINGS), default="ci",
+        help="matrix sizing preset (tiny = test-suite scale)",
+    )
+    matrix.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(_SCENARIOS),
+        help="scenario row(s) to score (repeatable; default: all registered)",
+    )
+    matrix.add_argument(
+        "--out", metavar="PATH", help="write the matrix JSON document here"
+    )
+    matrix.add_argument(
+        "--json", action="store_true",
+        help="emit the matrix JSON on stdout instead of tables",
+    )
+    matrix.add_argument(
+        "--cache-dir", help="artifact cache root (default ~/.cache/repro)"
+    )
+    matrix.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk cache"
     )
 
     return parser
@@ -1024,6 +1067,49 @@ def _cmd_top(args) -> int:
     return EXIT_OK
 
 
+def _cmd_matrix(args) -> int:
+    sizing = _SIZINGS[args.sizing]
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    matrix = build_matrix(
+        sizing=sizing,
+        scenarios=args.scenario or None,
+        cache=cache,
+    )
+    document = matrix.to_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(document + "\n")
+    if args.json:
+        print(document)
+    else:
+        rows = [
+            [
+                cell.scenario,
+                cell.detector,
+                cell.expected,
+                cell.observed,
+                "ok" if cell.matched else "DIVERGED",
+            ]
+            for cell in matrix.cells
+        ]
+        print(
+            format_table(
+                ["scenario", "detector", "expected", "observed", "status"],
+                rows,
+                title=f"conformance matrix ({matrix.sizing}, "
+                f"digest {matrix.digest()[:16]})",
+            )
+        )
+    mismatches = matrix.mismatches()
+    for cell in mismatches:
+        print(
+            f"MATRIX DIVERGENCE {cell.scenario} x {cell.detector}: "
+            f"expected {cell.expected!r}, observed {cell.observed!r}",
+            file=sys.stderr,
+        )
+    return EXIT_MATRIX_DIVERGENCE if mismatches else EXIT_OK
+
+
 def _serve_intervals(args) -> int:
     """Resolve --intervals / --duration into monitoring intervals."""
     if args.intervals is not None:
@@ -1217,6 +1303,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "fleet-report": _cmd_fleet_report,
     "top": _cmd_top,
+    "matrix": _cmd_matrix,
 }
 
 

@@ -1,0 +1,34 @@
+"""Conformance machinery: every attack scored against every detector.
+
+:mod:`repro.conformance.matrix` builds the attack × detector
+conformance matrix — the contract that keeps the adversarial corpus
+honest.  See ``docs/attacks.md`` for the semantics.
+"""
+
+from .matrix import (
+    CI_SIZING,
+    DETECTOR_COLUMNS,
+    MATRIX_DRIFT_POLICY,
+    OUTCOME_VOCABULARY,
+    SIZINGS,
+    TINY_SIZING,
+    ConformanceMatrix,
+    MatrixCell,
+    MatrixSizing,
+    build_matrix,
+    validate_declarations,
+)
+
+__all__ = [
+    "CI_SIZING",
+    "DETECTOR_COLUMNS",
+    "MATRIX_DRIFT_POLICY",
+    "OUTCOME_VOCABULARY",
+    "SIZINGS",
+    "TINY_SIZING",
+    "ConformanceMatrix",
+    "MatrixCell",
+    "MatrixSizing",
+    "build_matrix",
+    "validate_declarations",
+]

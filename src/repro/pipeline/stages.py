@@ -27,7 +27,15 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from .. import faults, kernels
-from ..attacks import AppLaunchAttack, ShellcodeAttack, SyscallHijackRootkit
+from ..attacks import (
+    AppLaunchAttack,
+    InterruptStormAttack,
+    MimicryShellcodeAttack,
+    ShellcodeAttack,
+    SlowDriftExfiltration,
+    SmmShadowAttack,
+    SyscallHijackRootkit,
+)
 from ..core.mhm import MemoryHeatMap
 from ..core.series import HeatMapSeries
 from ..core.spec import HeatMapSpec
@@ -39,6 +47,7 @@ from .training import TrainingData, collect_training_data, train_detector
 
 __all__ = [
     "SCENARIOS",
+    "scenario_reversible",
     "TRAINING_STAGE",
     "DETECTOR_STAGE",
     "SCENARIO_STAGE",
@@ -53,13 +62,34 @@ __all__ = [
     "run_scenario_cached",
 ]
 
-#: Attack constructors by scenario name (the CLI and runner job model
-#: share this registry).
+#: Attack constructors by scenario name (the CLI, runner job model,
+#: fleet simulator and conformance matrix all share this registry).
+#: Registering a scenario here is what makes the conformance matrix
+#: score it — and the matrix refuses to build unless the attack class
+#: declares an expected outcome per detector column, so additions
+#: cannot land undeclared (see docs/attacks.md).
 SCENARIOS = {
+    # The paper's Section 5.3 scenarios.
     "app-launch": AppLaunchAttack,
     "shellcode": ShellcodeAttack,
     "rootkit": SyscallHijackRootkit,
+    # Adversarial corpus: designed blind-spot probes.
+    "mimicry": MimicryShellcodeAttack,
+    "slow-drift": SlowDriftExfiltration,
+    "interrupt-storm": InterruptStormAttack,
+    "smm-shadow": SmmShadowAttack,
 }
+
+
+def scenario_reversible(scenario: str) -> bool:
+    """Whether a registered scenario's default attack can be reverted.
+
+    Probes the class without touching a platform (construction is
+    side-effect free by contract) — callers like the fleet-spec builder
+    use this instead of constructing throwaway attacks.
+    """
+    return make_attack(scenario).reversible
+
 
 TRAINING_STAGE = "training"
 DETECTOR_STAGE = "detector"

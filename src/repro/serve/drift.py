@@ -22,13 +22,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterable, Optional
 
 import numpy as np
 
 from .. import obs
 
-__all__ = ["DriftPolicy", "DriftStatus", "DriftMonitor"]
+__all__ = ["DriftPolicy", "DriftStatus", "DriftMonitor", "evaluate_drift"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,13 @@ class DriftMonitor:
             window = deque(maxlen=self.policy.window)
             self._windows[device_id] = window
         window.append(float(log_density))
+
+    def observe_series(
+        self, device_id: str, log_densities: Iterable[float]
+    ) -> None:
+        """Feed a whole score series (oldest first) for one device."""
+        for value in log_densities:
+            self.observe(device_id, value)
 
     def samples(self, device_id: str) -> int:
         window = self._windows.get(device_id)
@@ -131,3 +138,23 @@ class DriftMonitor:
             drifted=drifted,
             suggested_threshold=suggested,
         )
+
+
+def evaluate_drift(
+    log_densities: Iterable[float],
+    theta: float,
+    p_percent: float,
+    policy: DriftPolicy = DriftPolicy(),
+    device_id: str = "offline",
+) -> DriftStatus:
+    """One-shot drift verdict over a finished score series.
+
+    Convenience wrapper for offline consumers (the conformance matrix
+    above all): streams ``log_densities`` through a throwaway
+    :class:`DriftMonitor` and returns the final verdict — exactly what
+    a serving shard would report after seeing the same scores.  ``theta``
+    and the scores must be in the same (log) units.
+    """
+    monitor = DriftMonitor(policy=policy)
+    monitor.observe_series(device_id, log_densities)
+    return monitor.status(device_id, theta, p_percent)

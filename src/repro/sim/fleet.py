@@ -36,7 +36,7 @@ import numpy as np
 
 from .. import obs
 from ..obs.context import TraceContext, trace_args
-from ..pipeline.stages import SCENARIOS, make_attack
+from ..pipeline.stages import SCENARIOS, make_attack, scenario_reversible
 from .devices import NetworkDeviceConfig
 from .platform import Platform, PlatformConfig
 
@@ -205,7 +205,7 @@ def build_fleet_specs(
             scenario = scenarios[attack_ordinal % len(scenarios)]
             attack_ordinal += 1
             inject = inject_at
-            if make_attack(scenario).reversible:
+            if scenario_reversible(scenario):
                 candidate = inject + max(1, (3 * (intervals - inject)) // 4)
                 if candidate < intervals - 1:
                     revert = candidate

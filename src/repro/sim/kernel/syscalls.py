@@ -78,6 +78,20 @@ class ServiceRegistry:
         self._services[service.name] = service
         return service
 
+    def replace(self, name: str, service: KernelService) -> KernelService:
+        """Swap an existing service for another, returning the old one.
+
+        The attack-scenario hook (firmware-level shadowing): a payload
+        substitutes a registered code path and can later restore the
+        returned original.  Unknown names raise — replacement never
+        silently registers.
+        """
+        if name not in self._services:
+            raise KeyError(f"unknown kernel service {name!r}")
+        original = self._services[name]
+        self._services[name] = service
+        return original
+
     def get(self, name: str) -> KernelService:
         try:
             return self._services[name]

@@ -1,0 +1,151 @@
+"""Property tests: the stealth attacks are stealthy *by construction*.
+
+The mimicry and slow-drift scenarios promise bounded activity as class
+invariants (docstrings in :mod:`repro.attacks.mimicry` and
+:mod:`repro.attacks.slow_drift`), and the conformance matrix relies on
+those bounds to hold for every parametrization — not just the
+defaults the matrix happens to run.  Hypothesis sweeps the parameter
+spaces and pins:
+
+* mimicry's realised padding rate (``1/cadence``) never exceeds the
+  footprint envelope, and its pump cycle is drawn entirely from the
+  victim's own syscall mix in victim proportions;
+* slow-drift's per-interval pump count is bounded by
+  ``ceil(max_rate)`` and its cumulative output never outruns the
+  accumulated fractional rate budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.attacks import MimicryShellcodeAttack, SlowDriftExfiltration
+from repro.sim.platform import PlatformConfig
+from repro.sim.task import SyscallUse, TaskDefinition
+
+INTERVAL_NS = PlatformConfig().interval_ns
+
+#: The real task set the default platform schedules — the envelopes
+#: the default mimicry configuration actually hides in.
+DEFAULT_TASKS = tuple(PlatformConfig().tasks)
+
+
+def _synthetic_tasks():
+    """Synthesised victims: arbitrary mixes, periods and job lengths."""
+    syscall_names = st.sampled_from(
+        ["read", "write", "open", "getpid", "gettimeofday", "brk"]
+    )
+    uses = st.lists(
+        st.builds(
+            SyscallUse, name=syscall_names, count=st.integers(1, 50)
+        ),
+        min_size=1,
+        max_size=5,
+        unique_by=lambda use: use.name,
+    )
+    return st.builds(
+        lambda period, util, syscalls: TaskDefinition(
+            name="victim",
+            exec_time_ns=max(1, int(period * util)),
+            period_ns=period,
+            syscalls=tuple(syscalls),
+        ),
+        period=st.integers(1_000_000, 200_000_000),
+        util=st.floats(0.01, 0.9),
+        syscalls=uses,
+    )
+
+
+TASKS = st.one_of(st.sampled_from(DEFAULT_TASKS), _synthetic_tasks())
+
+
+class TestMimicryEnvelope:
+    @given(
+        task=TASKS,
+        budget=st.floats(0.001, 1.0),
+        cycle_length=st.integers(1, 16),
+    )
+    def test_realised_rate_never_exceeds_envelope(
+        self, task, budget, cycle_length
+    ):
+        attack = MimicryShellcodeAttack(
+            host=task.name, budget_fraction=budget, cycle_length=cycle_length
+        )
+        envelope = attack.victim_envelope(task, INTERVAL_NS)
+        cadence = attack.cadence_intervals(task, INTERVAL_NS)
+        if cadence == 0:
+            # Zero envelope: the payload stays dormant — trivially
+            # inside the budget.
+            assert attack.padding_rate(task, INTERVAL_NS) == 0.0
+            return
+        realised = 1.0 / cadence
+        # One whole call per cadence window: at most the envelope when
+        # the budgeted rate is fractional, never more than one call
+        # per interval otherwise.
+        assert realised <= max(attack.padding_rate(task, INTERVAL_NS), 1.0)
+        assert realised <= max(envelope, 1.0)
+
+    @given(task=TASKS, budget=st.floats(0.001, 0.2))
+    def test_fractional_budgets_realise_fractionally(self, task, budget):
+        """For the sub-call budgets mimicry actually uses, the duty
+        cycle is strictly bounded by the budgeted rate."""
+        attack = MimicryShellcodeAttack(host=task.name, budget_fraction=budget)
+        rate = attack.padding_rate(task, INTERVAL_NS)
+        cadence = attack.cadence_intervals(task, INTERVAL_NS)
+        if cadence and rate < 1.0:
+            assert 1.0 / cadence <= rate
+
+    @given(task=TASKS, cycle_length=st.integers(1, 16))
+    def test_plan_is_victim_mix_in_victim_proportions(self, task, cycle_length):
+        attack = MimicryShellcodeAttack(
+            host=task.name, cycle_length=cycle_length
+        )
+        plan = attack.plan(task)
+        assert len(plan) == cycle_length
+        names = {use.name for use in task.syscalls}
+        assert set(plan) <= names
+        total = sum(use.count for use in task.syscalls)
+        for use in task.syscalls:
+            exact = cycle_length * use.count / total
+            # Largest-remainder apportionment: within one slot of the
+            # exact proportional share.
+            assert abs(plan.count(use.name) - exact) < 1.0
+
+    @given(task=TASKS, cycle_length=st.integers(1, 16))
+    def test_plan_is_deterministic(self, task, cycle_length):
+        attack = MimicryShellcodeAttack(
+            host=task.name, cycle_length=cycle_length
+        )
+        assert attack.plan(task) == attack.plan(task)
+
+
+RAMPS = st.builds(
+    lambda start, ramp, extra: SlowDriftExfiltration(
+        start_rate=start, ramp_per_interval=ramp, max_rate=start + extra
+    ),
+    start=st.floats(0.0, 2.0),
+    ramp=st.floats(0.0, 0.5),
+    extra=st.floats(0.0, 3.0),
+)
+
+
+class TestSlowDriftRamp:
+    @given(attack=RAMPS, k=st.integers(0, 300))
+    def test_pump_count_bounded_by_max_rate(self, attack, k):
+        count = attack.pump_count(k)
+        assert 0 <= count <= math.ceil(attack.max_rate)
+
+    @given(attack=RAMPS, n=st.integers(0, 120))
+    def test_cumulative_pumps_never_outrun_the_rate_budget(self, attack, n):
+        """Σ pump_count telescopes to ⌊Σ rate⌋ — the "slow" invariant."""
+        total = sum(attack.pump_count(k) for k in range(n + 1))
+        budget = sum(attack.rate(k) for k in range(n + 1))
+        assert total == math.floor(budget)
+        assert total <= budget
+
+    @given(attack=RAMPS, k=st.integers(0, 300))
+    def test_rate_is_monotone_and_saturates(self, attack, k):
+        assert attack.rate(k) <= attack.rate(k + 1) <= attack.max_rate

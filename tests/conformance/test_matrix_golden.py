@@ -1,0 +1,89 @@
+"""Golden regression for the conformance matrix.
+
+The tiny-sizing matrix — every cell's outcome *and* metrics — is
+frozen as a committed JSON fixture.  Any change to an attack, a
+detector column, a threshold, or the underlying simulation that moves
+a single number fails here with a field-level diff.  Intentional
+changes regenerate the fixture and review it like code::
+
+    python -m pytest tests/conformance/test_matrix_golden.py --update-goldens
+
+A second, ``slow``-marked test replays the build in two *fresh*
+interpreters and compares digests, so the determinism claim covers
+process boundaries (hash seeds, import order, BLAS state), not just
+in-process memoisation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.conformance.matrix import TINY_SIZING, build_matrix
+
+pytestmark = [pytest.mark.conformance]
+
+FIXTURES = pathlib.Path(__file__).parent.parent / "fixtures"
+GOLDEN_PATH = FIXTURES / "golden_matrix_tiny.json"
+
+#: One-liner run in a fresh interpreter: build the tiny matrix with
+#: the on-disk cache disabled and print its digest.
+FRESH_BUILD = (
+    "from repro.conformance.matrix import TINY_SIZING, build_matrix;"
+    "print(build_matrix(TINY_SIZING, use_memo=False).digest())"
+)
+
+
+@pytest.fixture(scope="module")
+def payload() -> dict:
+    return build_matrix(TINY_SIZING).to_dict()
+
+
+def test_golden_matrix(payload, update_goldens):
+    if update_goldens:
+        FIXTURES.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert GOLDEN_PATH.exists(), (
+        "golden matrix fixture missing — generate it with "
+        "`pytest tests/conformance/test_matrix_golden.py --update-goldens`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    hint = "matrix output drifted; if intentional, rerun with --update-goldens"
+    assert payload["schema_version"] == golden["schema_version"], hint
+    assert payload["scenarios"] == golden["scenarios"], hint
+    assert payload["detectors"] == golden["detectors"], hint
+    assert payload["conformant"] == golden["conformant"], hint
+    for ours, theirs in zip(payload["cells"], golden["cells"]):
+        key = (theirs["scenario"], theirs["detector"])
+        assert ours == theirs, f"cell {key}: {hint}"
+    assert payload == golden, hint
+
+
+def test_golden_matrix_is_conformant():
+    """The committed fixture itself must record a fully conformant
+    corpus — a divergence can't be frozen in by --update-goldens."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["conformant"] is True
+    assert all(cell["matched"] for cell in golden["cells"])
+
+
+@pytest.mark.slow
+def test_fresh_interpreters_agree(tmp_path):
+    """Two cold processes build byte-identical matrices."""
+    digests = []
+    for _ in range(2):
+        result = subprocess.run(
+            [sys.executable, "-c", FRESH_BUILD],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=600,
+        )
+        digests.append(result.stdout.strip())
+    assert digests[0] == digests[1]
+    assert len(digests[0]) == 64

@@ -119,6 +119,59 @@ class TestAttackDetection:
         assert report.attacked_devices_alarmed == 1
 
 
+class TestAdversarialCorpusShardInvariance:
+    """The four adversarial scenarios ride the same serial ≡ sharded
+    contract as the paper's three — stealth payloads (periodic pumps,
+    service shadows) must not leak scheduler state across shards."""
+
+    CORPUS = ("interrupt-storm", "mimicry", "slow-drift", "smm-shadow")
+
+    @pytest.fixture(scope="class")
+    def corpus_serial(self, base_config):
+        import dataclasses
+
+        config = dataclasses.replace(
+            base_config,
+            devices=4,
+            attacked_devices=4,
+            intervals=10,
+            attack_scenarios=self.CORPUS,
+        )
+        return FleetService(config).run()
+
+    def test_every_adversarial_scenario_is_injected(self, corpus_serial):
+        scenarios = sorted(
+            d.scenario for d in corpus_serial.device_reports if d.scenario
+        )
+        assert scenarios == sorted(self.CORPUS)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_digests_bit_identical(
+        self, corpus_serial, config_factory, shards
+    ):
+        sharded = FleetService(
+            config_factory(
+                devices=4,
+                attacked_devices=4,
+                intervals=10,
+                attack_scenarios=self.CORPUS,
+                shards=shards,
+            )
+        ).run()
+        assert sharded.canonical_dict() == corpus_serial.canonical_dict()
+
+    def test_truth_windows_are_labelled(self, corpus_serial):
+        from repro.pipeline.stages import scenario_reversible
+
+        for dev in corpus_serial.device_reports:
+            assert dev.scenario in self.CORPUS
+            # All four adversarial payloads are reversible, so every
+            # stream carries both anomalous and benign truth labels.
+            assert scenario_reversible(dev.scenario)
+            assert dev.attack_intervals > 0
+            assert dev.benign_intervals > 0
+
+
 class TestReportSchema:
     def test_json_round_trip(self, serial_report, tmp_path):
         path = tmp_path / "fleet.json"

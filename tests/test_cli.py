@@ -432,7 +432,8 @@ class TestExitCodeEnum:
         assert ExitCode.JOB_FAILURES == 4
         assert ExitCode.BENCH_REGRESSION == 5
         assert ExitCode.SERVE_DEGRADED == 6
-        assert len(ExitCode) == 7
+        assert ExitCode.MATRIX_DIVERGENCE == 7
+        assert len(ExitCode) == 8
 
     def test_legacy_aliases_point_at_the_enum(self):
         from repro import cli
@@ -443,6 +444,7 @@ class TestExitCodeEnum:
         assert cli.EXIT_JOB_FAILURES is cli.ExitCode.JOB_FAILURES
         assert cli.EXIT_BENCH_REGRESSION is cli.ExitCode.BENCH_REGRESSION
         assert cli.EXIT_SERVE_DEGRADED is cli.ExitCode.SERVE_DEGRADED
+        assert cli.EXIT_MATRIX_DIVERGENCE is cli.ExitCode.MATRIX_DIVERGENCE
 
     def test_every_documented_code_is_in_the_docstring_table(self):
         """The module docstring documents each exit code it defines."""
@@ -457,6 +459,45 @@ class TestExitCodeEnum:
         for member in ExitCode:
             assert isinstance(int(member), int)
             assert 0 <= member.value < 128
+
+
+class TestMatrixCommand:
+    """`repro matrix`: the conformance matrix as a CLI gate."""
+
+    TINY = ["matrix", "--sizing", "tiny", "--no-cache"]
+
+    def test_unknown_sizing_is_parse_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--sizing", "galactic"])
+
+    def test_unknown_scenario_is_parse_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--scenario", "nuke"])
+
+    def test_subset_json_run_is_conformant(self, tmp_path, capsys):
+        out = tmp_path / "matrix.json"
+        code = main(
+            [
+                *self.TINY, "--json", "--out", str(out),
+                "--scenario", "slow-drift", "--scenario", "smm-shadow",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_OK
+        payload = json.loads(captured.out)
+        assert payload == json.loads(out.read_text())
+        assert payload["conformant"] is True
+        assert payload["scenarios"] == ["slow-drift", "smm-shadow"]
+        assert len(payload["cells"]) == 2 * len(payload["detectors"])
+
+    def test_table_output_lists_every_cell(self, capsys):
+        code = main([*self.TINY, "--scenario", "smm-shadow"])
+        captured = capsys.readouterr()
+        assert code == EXIT_OK
+        assert "conformance matrix" in captured.out
+        for column in ("gmm-alarm", "gmm-interval", "drift", "fpr-budget"):
+            assert column in captured.out
+        assert "DIVERGED" not in captured.out
 
 
 class TestServeCommand:

@@ -2,10 +2,12 @@
 """Coverage gate: enforce per-package line-coverage floors.
 
 Reads the JSON report produced by ``pytest --cov ...
---cov-report=json:coverage.json`` and enforces two floors:
+--cov-report=json:coverage.json`` and enforces two kinds of floors:
 
-* ``src/repro/serve/`` — the serving subsystem must stay at or above
-  **85 %** aggregate line coverage (a hard requirement of its PR);
+* **gated packages** (the ``GATES`` table) — subsystems whose PRs
+  landed with a hard coverage requirement must stay at or above their
+  floor: ``src/repro/serve/``, ``src/repro/attacks/`` and
+  ``src/repro/conformance/`` at **85 %** aggregate line coverage;
 * the rest of ``src/repro/`` — must never regress below the captured
   baseline in ``tools/coverage_baseline.json``.
 
@@ -13,7 +15,7 @@ Run ``python tools/check_coverage.py coverage.json --update-baseline``
 to ratchet the baseline up after a coverage improvement (review the
 diff like any other change; the baseline may only go up).
 
-Exit codes: 0 = both gates pass, 1 = a gate failed or the report is
+Exit codes: 0 = every gate passes, 1 = a gate failed or the report is
 unreadable.  Kept dependency-free (stdlib only) so the gate itself
 needs nothing beyond the JSON report.
 """
@@ -25,8 +27,12 @@ import json
 import pathlib
 import sys
 
-SERVE_PREFIX = "src/repro/serve/"
-SERVE_FLOOR = 85.0
+#: Package prefix -> hard aggregate line-coverage floor (percent).
+GATES = {
+    "src/repro/serve/": 85.0,
+    "src/repro/attacks/": 85.0,
+    "src/repro/conformance/": 85.0,
+}
 BASELINE_PATH = pathlib.Path(__file__).parent / "coverage_baseline.json"
 
 
@@ -60,11 +66,10 @@ def main(argv=None) -> int:
         print(f"coverage gate: unreadable report {args.report}: {exc}")
         return 1
 
-    serve_pct, serve_cov, serve_stmts = aggregate(
-        files, lambda p: SERVE_PREFIX in p
-    )
     rest_pct, rest_cov, rest_stmts = aggregate(
-        files, lambda p: SERVE_PREFIX not in p and "src/repro/" in p
+        files,
+        lambda p: "src/repro/" in p
+        and not any(prefix in p for prefix in GATES),
     )
 
     baseline = json.loads(BASELINE_PATH.read_text())
@@ -84,22 +89,24 @@ def main(argv=None) -> int:
         )
         print(f"baseline: rest-of-repro floor {rest_floor} -> {new_floor}")
 
-    print(
-        f"coverage src/repro/serve/ : {serve_pct:5.1f}% "
-        f"({serve_cov}/{serve_stmts} lines, floor {SERVE_FLOOR}%)"
-    )
+    failed = False
+    for prefix, floor in GATES.items():
+        pct, cov, stmts = aggregate(files, lambda p, pre=prefix: pre in p)
+        print(
+            f"coverage {prefix:<22}: {pct:5.1f}% "
+            f"({cov}/{stmts} lines, floor {floor}%)"
+        )
+        if stmts == 0:
+            print(f"coverage gate: no {prefix} files in the report")
+            failed = True
+        elif pct < floor:
+            print(f"coverage gate FAILED: {prefix} below {floor}%")
+            failed = True
+
     print(
         f"coverage rest of src/repro: {rest_pct:5.1f}% "
         f"({rest_cov}/{rest_stmts} lines, floor {rest_floor}%)"
     )
-
-    failed = False
-    if serve_stmts == 0:
-        print("coverage gate: no src/repro/serve/ files in the report")
-        failed = True
-    if serve_pct < SERVE_FLOOR:
-        print(f"coverage gate FAILED: serve below {SERVE_FLOOR}%")
-        failed = True
     if rest_pct < rest_floor:
         print(f"coverage gate FAILED: rest of repro below baseline {rest_floor}%")
         failed = True
