@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-fast test-faults bench bench-smoke bench-kernels check report examples clean
+.PHONY: install test test-fast test-faults test-contexts bench bench-smoke bench-kernels check report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -37,9 +37,18 @@ endif
 # $REPRO_TEST_ARTIFACTS (CI uploads them on a red run).
 test-faults:
 	$(PYTHON) -m pytest tests/faults tests/learn/test_properties.py \
+	    tests/learn/test_contexts_properties.py \
 	    tests/pipeline/test_faults.py tests/pipeline/test_runner_hardening.py \
 	    tests/pipeline/test_monitoring_faults.py tests/pipeline/test_golden_faults.py \
 	    -p no:cacheprovider -q -W "error:::repro"
+
+# The second-modality suite alone: ContextDetector units, the
+# hypothesis differential/property layer, ensemble fusion math, and
+# the serve-layer shard-invariance tests — everything marked
+# @pytest.mark.contexts (fresh-interpreter seed stability included,
+# since the marker filter overrides the slow exclusion here).
+test-contexts:
+	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m contexts -W "error:::repro"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -38,6 +38,12 @@ class Attack(abc.ABC):
     #: drift-flag / FPR budget).
     expected_outcomes: Mapping[str, str] = {}
 
+    #: Optional per-cell annotations: detector-column name → free-text
+    #: note carried into the emitted matrix cell.  Use it to point a
+    #: *declared miss* at the roadmap item that would close it, so the
+    #: known-miss ledger stays actionable instead of silently accepted.
+    expected_notes: Mapping[str, str] = {}
+
     @abc.abstractmethod
     def inject(self, platform: "Platform") -> None:
         """Carry out the attack at ``platform.now``."""

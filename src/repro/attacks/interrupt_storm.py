@@ -54,6 +54,9 @@ class InterruptStormAttack(Attack):
         "gmm-interval": "detect",
         "drift": "drift-flag",
         "fpr-budget": "within-budget",
+        # Interrupt pressure perturbs memory traffic, not the task
+        # set's syscall mix — the MHM modality owns this scenario.
+        "context": "miss",
     }
 
     def __init__(

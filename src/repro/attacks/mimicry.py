@@ -69,6 +69,10 @@ class MimicryShellcodeAttack(Attack):
         "gmm-interval": "miss",
         "drift": "no-drift",
         "fpr-budget": "within-budget",
+        # The padding keeps each *interval* in the clean envelope, but
+        # its per-interval bias accumulates in the context modality's
+        # phase-conditional residual cumsum — the designed catcher.
+        "context": "detect",
     }
 
     def __init__(

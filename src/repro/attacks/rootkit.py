@@ -62,6 +62,9 @@ class SyscallHijackRootkit(Attack):
         "gmm-interval": "detect",
         "drift": "drift-flag",
         "fpr-budget": "within-budget",
+        # The hijack adds latency, not calls: invocation *counts* stay
+        # clean, so the syscall-distribution modality sees nothing.
+        "context": "miss",
     }
 
     def __init__(

@@ -54,6 +54,8 @@ class ShellcodeAttack(Attack):
         "gmm-interval": "detect",
         "drift": "drift-flag",
         "fpr-budget": "within-budget",
+        # Killing bitcount removes its syscalls from every interval.
+        "context": "detect",
     }
 
     def __init__(

@@ -64,6 +64,8 @@ class SlowDriftExfiltration(Attack):
         "gmm-interval": "detect",  # ...but the raw flag rate exceeds budget
         "drift": "drift-flag",  # the DriftMonitor is the designed catcher
         "fpr-budget": "within-budget",
+        # The exfiltration loop's extra reads bias the phase residuals.
+        "context": "detect",
     }
 
     def __init__(

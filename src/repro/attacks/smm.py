@@ -66,6 +66,19 @@ class SmmShadowAttack(Attack):
         "gmm-interval": "miss",
         "drift": "no-drift",
         "fpr-budget": "within-budget",
+        # Still the all-miss row: the SMI handler issues no syscalls,
+        # so the second modality is as blind as the first.
+        "context": "miss",
+    }
+
+    expected_notes = {
+        "context": (
+            "Known blind spot in both modalities: the handler executes "
+            "entirely inside SMRAM and issues no syscalls, so neither "
+            "memory traffic nor syscall distributions shift.  Tracked "
+            "by ROADMAP 'Close the SMM blind spot with an "
+            "absence-sensitive modality'."
+        ),
     }
 
     def __init__(

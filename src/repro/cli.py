@@ -95,13 +95,21 @@ from .conformance.matrix import SIZINGS as _SIZINGS
 from .conformance.matrix import build_matrix
 from .faults import FaultPlan
 from .learn.detector import MhmDetector
+from .learn.ensemble import ENSEMBLE_RULES, EnsembleConfig
 from .pipeline.cache import ArtifactCache
-from .pipeline.experiments import PAPER_SCALE, QUICK_SCALE
+from .pipeline.experiments import (
+    PAPER_SCALE,
+    QUICK_SCALE,
+    get_reference_artifacts,
+    run_scenario_experiment,
+)
 from .pipeline.monitoring import OnlineMonitor
 from .pipeline.runner import ExperimentRunner, JobFailedError, build_grid_jobs
 from .pipeline.scenario import ScenarioRunner
 from .pipeline.stages import SCENARIOS as _SCENARIOS
+from .pipeline.stages import make_attack
 from .pipeline.training import collect_training_data, train_detector
+from .serve.worker import MODALITIES as _MODALITIES
 from .serve import (
     SERVE_TRACE_CATEGORIES,
     FleetReport,
@@ -248,6 +256,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report on stdout"
     )
     _add_obs_arguments(attack)
+
+    detect = sub.add_parser(
+        "detect",
+        help="replay a scenario and score it with a chosen modality "
+        "(MHM densities, syscall contexts, or the ensemble)",
+    )
+    detect.add_argument(
+        "--scenario", choices=sorted(_SCENARIOS), default="mimicry"
+    )
+    detect.add_argument(
+        "--modality", choices=_MODALITIES, default="ensemble",
+        help="which detector(s) decide the verdict (default ensemble)",
+    )
+    detect.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick",
+        help="training/scenario sizing (default quick)",
+    )
+    detect.add_argument(
+        "--quantile", type=float, default=1.0, metavar="P",
+        help="combined false-positive budget in percent (default 1.0)",
+    )
+    detect.add_argument(
+        "--mhm-share", type=float, default=0.5,
+        help="ensemble: fraction of the budget given to the MHM "
+        "modality (default 0.5)",
+    )
+    detect.add_argument(
+        "--ensemble-rule", choices=ENSEMBLE_RULES, default="or",
+        help="ensemble fusion rule (default or)",
+    )
+    detect.add_argument("--seed", type=int, default=0, help="training seed")
+    detect.add_argument(
+        "--scenario-seed", type=int, default=999,
+        help="fresh platform seed for the scenario boot",
+    )
+    detect.add_argument(
+        "--cache-dir", help="artifact cache root (default ~/.cache/repro)"
+    )
+    detect.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk cache"
+    )
+    detect.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    _add_obs_arguments(detect)
 
     experiments = sub.add_parser(
         "experiments",
@@ -424,6 +477,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--quantile", type=float, default=1.0, metavar="P",
         help="θ_p calibration quantile in percent (default 1.0)",
+    )
+    serve.add_argument(
+        "--modality", choices=_MODALITIES, default="mhm",
+        help="scoring modality: mhm (default), contexts, or ensemble "
+        "(both, budget split per --mhm-share)",
+    )
+    serve.add_argument(
+        "--mhm-share", type=float, default=0.5,
+        help="ensemble: fraction of the --quantile budget given to the "
+        "MHM modality (default 0.5)",
+    )
+    serve.add_argument(
+        "--ensemble-rule", choices=ENSEMBLE_RULES, default="or",
+        help="ensemble fusion rule (default or)",
     )
     serve.add_argument(
         "--alarm-consecutive", type=int, default=3,
@@ -1226,6 +1293,12 @@ def _cmd_serve(args) -> int:
             ),
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            modality=args.modality,
+            ensemble=EnsembleConfig(
+                p_percent=args.quantile,
+                mhm_share=args.mhm_share,
+                rule=args.ensemble_rule,
+            ),
         )
         telemetry = TelemetryConfig.from_current(
             metrics_dir=args.metrics_dir,
@@ -1235,7 +1308,9 @@ def _cmd_serve(args) -> int:
             config, fault_plan=fault_plan, telemetry=telemetry
         )
         report = service.run()
-    except ValueError as exc:
+    except (ValueError, KeyError) as exc:
+        # KeyError: a budget split landing outside the calibrated
+        # threshold banks (the detectors calibrate θ at fixed quantiles).
         print(f"error: {exc}", file=sys.stderr)
         return ExitCode.USAGE
     if args.report_out:
@@ -1273,6 +1348,96 @@ def _cmd_serve(args) -> int:
     return ExitCode.OK
 
 
+def _cmd_detect(args) -> int:
+    """Replay one scenario and judge it under the chosen modality.
+
+    Mirrors the conformance matrix's verdict rules: a modality
+    "detects" when its post-injection per-interval flag rate clears the
+    alert floor (5x the budget, min 10%), or — context/ensemble — when
+    the phase-drift statistic exceeds its calibrated clean bound.
+    Exits :data:`ExitCode.ALARM` on detection, OK on a miss.
+    """
+    scale = _SCALES[args.scale]
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    try:
+        ensemble = EnsembleConfig(
+            p_percent=args.quantile,
+            mhm_share=args.mhm_share,
+            rule=args.ensemble_rule,
+        )
+        artifacts = get_reference_artifacts(
+            scale, seed=args.seed, cache=cache
+        )
+        outcome = run_scenario_experiment(
+            make_attack(args.scenario),
+            artifacts,
+            scenario_seed=args.scenario_seed,
+        )
+        p = args.quantile
+        modality = args.modality
+        if modality == "ensemble":
+            p_mhm, p_context = ensemble.p_mhm, ensemble.p_context
+        else:
+            p_mhm = p if modality == "mhm" else None
+            p_context = p if modality == "contexts" else None
+        mhm_flags = outcome.flags(p_mhm) if p_mhm is not None else None
+        context_flags = (
+            outcome.context_flags(p_context) if p_context is not None else None
+        )
+    except (ValueError, KeyError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return ExitCode.USAGE
+
+    if mhm_flags is not None and context_flags is not None:
+        if ensemble.rule == "or":
+            fused = mhm_flags | context_flags
+        elif ensemble.rule == "and":
+            fused = mhm_flags & context_flags
+        else:
+            weight = ensemble.mhm_weight
+            fused = (
+                weight * mhm_flags + (1.0 - weight) * context_flags
+            ) >= ensemble.vote_threshold
+    else:
+        fused = mhm_flags if mhm_flags is not None else context_flags
+
+    mask = outcome.ground_truth
+    rate = float(fused[mask].mean()) if mask.any() else 0.0
+    floor = max(5.0 * p / 100.0, 0.10)
+    drift_hit = (
+        outcome.context_drift_exceeded if context_flags is not None else False
+    )
+    detected = rate >= floor or drift_hit
+    report = {
+        "scenario": args.scenario,
+        "modality": modality,
+        "p_percent": p,
+        "detection_rate": rate,
+        "alert_floor": floor,
+        "context_drift_max": (
+            outcome.context_drift_max if context_flags is not None else None
+        ),
+        "context_drift_bound": (
+            outcome.context_drift_bound if context_flags is not None else None
+        ),
+        "drift_exceeded": drift_hit,
+        "detected": detected,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [[key, report[key]] for key in report]
+        print(
+            format_table(
+                ["field", "value"],
+                rows,
+                title=f"detect: {args.scenario} x {modality}",
+            )
+        )
+    _obs_finish(args, "detect", seed=args.seed, scenario=args.scenario)
+    return ExitCode.ALARM if detected else ExitCode.OK
+
+
 def _cmd_fleet_report(args) -> int:
     with open(args.report_json) as fh:
         payload = json.load(fh)
@@ -1295,6 +1460,7 @@ _HANDLERS = {
     "train": _cmd_train,
     "monitor": _cmd_monitor,
     "attack": _cmd_attack,
+    "detect": _cmd_detect,
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,
     "cache": _cmd_cache,

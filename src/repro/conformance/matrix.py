@@ -30,6 +30,13 @@ Detector columns
     Sanity column: before injection the scenario boot must flag at
     (binomially) no more than the calibrated p-percent budget.
     Outcome ``within-budget`` or ``over-budget``.
+``context``
+    The second modality
+    (:class:`~repro.learn.contexts.ContextDetector`): per-interval
+    syscall-distribution scores against the learned execution
+    contexts, OR'd with the phase-drift channel — the column that
+    catches the mimicry attack the four MHM-side columns declare as
+    misses.  Outcome ``detect`` or ``miss``.
 
 Everything is deterministic: fixed training seed, fixed scenario
 seed, pure simulation.  Two builds at the same sizing produce
@@ -240,6 +247,36 @@ def _fpr_budget(
     )
 
 
+def _context(
+    outcome: ScenarioOutcome, sizing: MatrixSizing
+) -> Tuple[str, Dict[str, float]]:
+    """Second modality: context score channel OR phase-drift channel.
+
+    Detect when either the post-injection context flag rate clears the
+    same alert floor the ``gmm-interval`` column uses, or the drift
+    statistic exceeds its calibrated clean-stream bound (the channel
+    that exposes mimicry's in-envelope padding).
+    """
+    if not outcome.has_context:
+        raise RuntimeError(
+            "scenario outcome carries no context-modality scores; "
+            "the matrix must be built through run_scenario_experiment"
+        )
+    rate = outcome.context_detection_rate(sizing.p_percent)
+    floor = _interval_alert_floor(sizing.p_percent)
+    drifted = outcome.context_drift_exceeded
+    detected = rate >= floor or drifted
+    return (
+        "detect" if detected else "miss",
+        {
+            "detection_rate": _round(rate),
+            "alert_floor": _round(floor),
+            "drift_max": _round(outcome.context_drift_max),
+            "drift_bound": _round(outcome.context_drift_bound),
+        },
+    )
+
+
 #: Column name → (vocabulary, scorer).  Order is the column order of
 #: the emitted matrix.
 DETECTOR_COLUMNS: Dict[
@@ -250,6 +287,7 @@ DETECTOR_COLUMNS: Dict[
     "gmm-interval": _gmm_interval,
     "drift": _drift,
     "fpr-budget": _fpr_budget,
+    "context": _context,
 }
 
 #: Legal outcomes per column (declared *and* observed values).
@@ -258,6 +296,7 @@ OUTCOME_VOCABULARY: Dict[str, Tuple[str, ...]] = {
     "gmm-interval": ("detect", "miss"),
     "drift": ("drift-flag", "no-drift"),
     "fpr-budget": ("within-budget", "over-budget"),
+    "context": ("detect", "miss"),
 }
 
 
@@ -289,6 +328,13 @@ def validate_declarations(scenarios: Sequence[str]) -> None:
                 f"{name!r} declares unknown detector column {column!r}; "
                 f"registered columns are {list(DETECTOR_COLUMNS)}"
             )
+        for column in getattr(SCENARIOS[name], "expected_notes", {}):
+            if column not in OUTCOME_VOCABULARY:
+                problems.append(
+                    f"{name!r} annotates unknown detector column "
+                    f"{column!r}; registered columns are "
+                    f"{list(DETECTOR_COLUMNS)}"
+                )
     if problems:
         raise ValueError(
             "conformance declarations are incomplete:\n  "
@@ -308,6 +354,10 @@ class MatrixCell:
     expected: str
     observed: str
     metrics: Mapping[str, float] = field(default_factory=dict)
+    #: Free-text annotation from the attack's ``expected_notes`` —
+    #: typically a declared miss pointing at the roadmap item that
+    #: would close it.
+    note: str = ""
 
     @property
     def matched(self) -> bool:
@@ -321,6 +371,7 @@ class MatrixCell:
             "observed": self.observed,
             "matched": self.matched,
             "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "note": self.note,
         }
 
 
@@ -410,6 +461,7 @@ def build_matrix(
             scenario_seed=sizing.scenario_seed,
         )
         declared = SCENARIOS[name].expected_outcomes
+        notes = SCENARIOS[name].expected_notes
         for column, scorer in DETECTOR_COLUMNS.items():
             observed, metrics = scorer(outcome, sizing)
             cells.append(
@@ -419,6 +471,7 @@ def build_matrix(
                     expected=declared[column],
                     observed=observed,
                     metrics=metrics,
+                    note=notes.get(column, ""),
                 )
             )
 

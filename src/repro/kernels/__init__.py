@@ -57,6 +57,7 @@ __all__ = [
     "component_log_densities",
     "log_density_batch",
     "responsibilities_batch",
+    "nearest_context_batch",
     "logsumexp",
     "safe_log_weights",
 ]
@@ -231,6 +232,23 @@ def responsibilities_batch(
     return backend_module().responsibilities_batch(
         data, weights, means, cholesky_factors
     )
+
+
+def nearest_context_batch(
+    matrix: np.ndarray, centers: np.ndarray
+) -> tuple:
+    """Nearest execution context per syscall-frequency vector.
+
+    The hot loop of the second detection modality
+    (:mod:`repro.learn.contexts`): for each row of ``matrix`` find the
+    closest k-means center and its Euclidean distance.  Returns
+    ``(labels, distances)`` with shapes ``(N,)`` — ``labels`` int64,
+    ``distances`` float64.  Ties break to the lowest center index in
+    both backends.  The computation is row-separable (no cross-row
+    reduction), so — unlike the BLAS-backed projection — a row's result
+    is independent of its batch-mates at any batch shape.
+    """
+    return backend_module().nearest_context_batch(matrix, centers)
 
 
 def logsumexp(values: np.ndarray, axis: int = 1) -> np.ndarray:

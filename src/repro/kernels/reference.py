@@ -122,6 +122,30 @@ def component_log_densities(
     return out
 
 
+def nearest_context_batch(
+    matrix: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    center_rows = np.asarray(centers, dtype=np.float64).tolist()
+    labels = np.empty(len(matrix), dtype=np.int64)
+    distances = np.empty(len(matrix), dtype=np.float64)
+    for n, row in enumerate(matrix.tolist()):
+        best_index = 0
+        best_sq = math.inf
+        for j, center in enumerate(center_rows):
+            squared = math.fsum(
+                (value - c) * (value - c) for value, c in zip(row, center)
+            )
+            # Strict less-than: ties keep the lowest center index, the
+            # same first-minimum rule np.argmin applies.
+            if squared < best_sq:
+                best_sq = squared
+                best_index = j
+        labels[n] = best_index
+        distances[n] = math.sqrt(best_sq)
+    return labels, distances
+
+
 def logsumexp(values: np.ndarray, axis: int = 1) -> np.ndarray:
     values = np.asarray(values, dtype=np.float64)
     if axis != 1 or values.ndim != 2:

@@ -99,6 +99,18 @@ def component_log_densities(
     return np.stack(columns, axis=1)
 
 
+def nearest_context_batch(
+    matrix: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    centers = np.asarray(centers, dtype=np.float64)
+    diff = matrix[:, np.newaxis, :] - centers[np.newaxis, :, :]
+    squared = np.einsum("nkd,nkd->nk", diff, diff)
+    labels = squared.argmin(axis=1).astype(np.int64)
+    distances = np.sqrt(squared[np.arange(len(matrix)), labels])
+    return labels, distances
+
+
 def logsumexp(values: np.ndarray, axis: int = 1) -> np.ndarray:
     values = np.asarray(values, dtype=np.float64)
     peak = values.max(axis=axis, keepdims=True)

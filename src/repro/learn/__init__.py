@@ -5,7 +5,14 @@ from .baselines import (
     NearestNeighborDetector,
     TrafficVolumeDetector,
 )
+from .contexts import ContextDetector, cluster_contexts, sort_rows
 from .detector import MhmDetector
+from .ensemble import (
+    ENSEMBLE_RULES,
+    EnsembleConfig,
+    EnsembleDetector,
+    allowed_false_positive_rate,
+)
 from .evaluation import (
     DetectionSummary,
     ThresholdInterval,
@@ -40,6 +47,13 @@ __all__ = [
     "kmeans_plus_plus_init",
     "KMeansResult",
     "MhmDetector",
+    "ContextDetector",
+    "cluster_contexts",
+    "sort_rows",
+    "EnsembleConfig",
+    "EnsembleDetector",
+    "ENSEMBLE_RULES",
+    "allowed_false_positive_rate",
     "LocalFeatureDetector",
     "PatchExtractor",
     "PatchCodebook",

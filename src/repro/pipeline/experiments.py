@@ -22,11 +22,17 @@ import numpy as np
 
 from ..attacks.base import Attack
 from ..core.series import HeatMapSeries
+from ..learn.contexts import ContextDetector
 from ..learn.detector import MhmDetector
 from ..learn.metrics import detection_latency
 from ..sim.platform import Platform, PlatformConfig
 from .scenario import ScenarioResult, ScenarioRunner
-from .training import TrainingData, collect_training_data, train_detector
+from .training import (
+    TrainingData,
+    collect_training_data,
+    train_context_detector,
+    train_detector,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -92,12 +98,13 @@ QUICK_SCALE = ExperimentScale(
 
 @dataclass
 class ReferenceArtifacts:
-    """A trained detector plus the data it was trained on."""
+    """Both trained modalities plus the data they were trained on."""
 
     scale: ExperimentScale
     config: PlatformConfig
     data: TrainingData
     detector: MhmDetector
+    context_detector: ContextDetector
 
 
 _ARTIFACT_CACHE: dict = {}
@@ -131,10 +138,13 @@ def get_reference_artifacts(
             base_seed=100 + seed,
         )
         detector = train_detector(data, em_restarts=scale.em_restarts, seed=seed)
+        context_detector = train_context_detector(data, seed=seed)
     else:
         from .stages import (
             collect_training_data_cached,
+            context_material,
             detector_material,
+            train_context_detector_cached,
             train_detector_cached,
             training_material,
         )
@@ -161,8 +171,19 @@ def get_reference_artifacts(
             detector_kwargs,
             cache=cache,
         )
+        context_kwargs = {"seed": seed}
+        context_detector, _ = train_context_detector_cached(
+            lambda: data,
+            context_material(material, context_kwargs),
+            context_kwargs,
+            cache=cache,
+        )
     artifacts = ReferenceArtifacts(
-        scale=scale, config=config, data=data, detector=detector
+        scale=scale,
+        config=config,
+        data=data,
+        detector=detector,
+        context_detector=context_detector,
     )
     if use_cache:
         _ARTIFACT_CACHE[key] = artifacts
@@ -175,12 +196,24 @@ def clear_artifact_cache() -> None:
 
 @dataclass
 class ScenarioOutcome:
-    """A scored scenario run: everything a figure needs."""
+    """A scored scenario run: everything a figure needs.
+
+    When the scoring path carries the second modality, ``context_scores``
+    holds per-interval context anomaly scores (flag *above* threshold,
+    unlike the MHM densities which flag below), ``context_thresholds``
+    the calibrated θ bank, and ``context_drift_max`` /
+    ``context_drift_bound`` the phase-drift channel's statistic and its
+    clean-stream bound.
+    """
 
     scenario: ScenarioResult
     log10_densities: np.ndarray
     log10_thresholds: dict[float, float]
     ground_truth: np.ndarray = field(default=None)  # type: ignore[assignment]
+    context_scores: Optional[np.ndarray] = None
+    context_thresholds: dict[float, float] = field(default_factory=dict)
+    context_drift_max: float = 0.0
+    context_drift_bound: float = float("inf")
 
     def __post_init__(self) -> None:
         if self.ground_truth is None:
@@ -227,6 +260,38 @@ class ScenarioOutcome:
     def traffic_volumes(self) -> np.ndarray:
         return self.scenario.series.traffic_volumes()
 
+    # ------------------------------------------------------------------
+    # Context modality (syscall-distribution execution contexts)
+    # ------------------------------------------------------------------
+    @property
+    def has_context(self) -> bool:
+        return self.context_scores is not None and bool(self.context_thresholds)
+
+    def context_flags(self, p_percent: float) -> np.ndarray:
+        """Score-channel flags: context score *above* its θ is anomalous."""
+        if not self.has_context:
+            raise RuntimeError("outcome carries no context-modality scores")
+        theta = self.context_thresholds[p_percent]
+        return np.asarray(self.context_scores) > theta
+
+    def context_pre_attack_fpr(self, p_percent: float) -> float:
+        start = self.scenario.attack_interval
+        if start == 0:
+            return 0.0
+        return float(self.context_flags(p_percent)[:start].mean())
+
+    def context_detection_rate(self, p_percent: float) -> float:
+        """Fraction of attack-active intervals the score channel flags."""
+        mask = self.ground_truth
+        if not mask.any():
+            return 0.0
+        return float(self.context_flags(p_percent)[mask].mean())
+
+    @property
+    def context_drift_exceeded(self) -> bool:
+        """Phase-drift channel verdict: statistic above the clean bound."""
+        return self.context_drift_max > self.context_drift_bound
+
     def summary(self) -> dict:
         return {
             "scenario": self.scenario.name,
@@ -265,12 +330,31 @@ def run_scenario_experiment(
         post_intervals=post_intervals,
     )
     detector = artifacts.detector
+    context = artifacts.context_detector
+    context_scores = None
+    context_thresholds: dict[float, float] = {}
+    context_drift_max = 0.0
+    context_drift_bound = float("inf")
+    if context is not None and result.syscalls is not None:
+        context_scores = context.score_series(result.syscalls)
+        context_thresholds = {
+            q: context.threshold(q) for q in context.thresholds_
+        }
+        drift = context.drift_series(
+            result.syscalls, start_index=result.start_interval_index
+        )
+        context_drift_max = float(drift.max()) if drift.size else 0.0
+        context_drift_bound = context.drift_bound_
     return ScenarioOutcome(
         scenario=result,
         log10_densities=detector.log10_series(result.series),
         log10_thresholds={
             q: detector.log10_threshold(q) for q in detector.thresholds.quantiles
         },
+        context_scores=context_scores,
+        context_thresholds=context_thresholds,
+        context_drift_max=context_drift_max,
+        context_drift_bound=context_drift_bound,
     )
 
 

@@ -34,11 +34,20 @@ class ScenarioEvent:
 
 @dataclass
 class ScenarioResult:
-    """Everything one scenario run produced."""
+    """Everything one scenario run produced.
+
+    ``syscalls`` is the per-interval syscall-frequency matrix aligned
+    row-for-row with ``series`` (the context modality's input);
+    ``start_interval_index`` is the platform interval index of row 0 —
+    the phase key the drift channel needs when the scenario did not
+    start on a fresh boot.
+    """
 
     name: str
     series: HeatMapSeries
     events: list[ScenarioEvent] = field(default_factory=list)
+    syscalls: Optional[np.ndarray] = None
+    start_interval_index: int = 0
 
     def event(self, label: str) -> ScenarioEvent:
         for entry in self.events:
@@ -153,4 +162,10 @@ class ScenarioRunner:
                 platform.run_intervals(post_intervals)
 
         series = platform.secure_core.series(start=start_index)
-        return ScenarioResult(name=attack.name, series=series, events=events)
+        return ScenarioResult(
+            name=attack.name,
+            series=series,
+            events=events,
+            syscalls=platform.syscall_matrix(start=start_index),
+            start_interval_index=start_index,
+        )

@@ -39,6 +39,7 @@ from ..attacks import (
 from ..core.mhm import MemoryHeatMap
 from ..core.series import HeatMapSeries
 from ..core.spec import HeatMapSpec
+from ..learn.contexts import ContextDetector
 from ..learn.detector import MhmDetector
 from ..sim.platform import Platform, PlatformConfig
 from .cache import ArtifactCache
@@ -50,15 +51,18 @@ __all__ = [
     "scenario_reversible",
     "TRAINING_STAGE",
     "DETECTOR_STAGE",
+    "CONTEXT_STAGE",
     "SCENARIO_STAGE",
     "make_attack",
     "series_to_arrays",
     "series_from_arrays",
     "training_material",
     "detector_material",
+    "context_material",
     "scenario_material",
     "collect_training_data_cached",
     "train_detector_cached",
+    "train_context_detector_cached",
     "run_scenario_cached",
 ]
 
@@ -93,6 +97,7 @@ def scenario_reversible(scenario: str) -> bool:
 
 TRAINING_STAGE = "training"
 DETECTOR_STAGE = "detector"
+CONTEXT_STAGE = "context"
 SCENARIO_STAGE = "scenario"
 
 
@@ -156,6 +161,10 @@ def training_material(
         "intervals_per_run": intervals_per_run,
         "validation_intervals": validation_intervals,
         "base_seed": base_seed,
+        # Stored-array-set version: entries now carry the per-interval
+        # syscall matrices alongside the MHM series, so pre-capture
+        # cache entries (which lack those arrays) must not be reused.
+        "capture": "syscalls-v1",
     }
 
 
@@ -192,6 +201,22 @@ def scenario_material(
         "post_intervals": post_intervals,
         "scenario_seed": scenario_seed,
         "inject_offset_fraction": inject_offset_fraction,
+        "capture": "syscalls-v1",
+    }
+
+
+def context_material(train_material: dict, context_kwargs: Mapping) -> dict:
+    """Cache-key material for a fitted context detector.
+
+    Mirrors :func:`detector_material`: the kernels backend is an input
+    (the nearest-context distance kernel's vectorized and scalar
+    backends agree only to rounding, and quantile thresholds sit
+    directly on those distances).
+    """
+    return {
+        "train": train_material,
+        "context": dict(context_kwargs),
+        "kernels_backend": kernels.active_backend(),
     }
 
 
@@ -228,6 +253,10 @@ def collect_training_data_cached(
         return {
             **series_to_arrays(data.training, "training"),
             **series_to_arrays(data.validation, "validation"),
+            # Per-run matrices share one shape by construction, so they
+            # stack into a single exact int64 (runs, T, V) array.
+            "training_syscalls": np.stack(data.training_syscalls),
+            "validation_syscalls": data.validation_syscalls,
         }
 
     material = training_material(
@@ -238,6 +267,13 @@ def collect_training_data_cached(
     data = TrainingData(
         training=series_from_arrays(arrays, "training", spec),
         validation=series_from_arrays(arrays, "validation", spec),
+        training_syscalls=[
+            np.asarray(run, dtype=np.int64)
+            for run in arrays["training_syscalls"]
+        ],
+        validation_syscalls=np.asarray(
+            arrays["validation_syscalls"], dtype=np.int64
+        ),
     )
     return data, hit
 
@@ -272,6 +308,35 @@ def train_detector_cached(
 
     arrays, hit = cache.fetch(DETECTOR_STAGE, material, compute)
     return MhmDetector.from_arrays(arrays), hit
+
+
+def train_context_detector_cached(
+    data_provider: Callable[[], TrainingData],
+    material: dict,
+    context_kwargs: Mapping,
+    cache: Optional[ArtifactCache] = None,
+    fault_token: str = "-",
+) -> Tuple[ContextDetector, bool]:
+    """Train (or load) the syscall-context detector (second modality).
+
+    Same contract as :func:`train_detector_cached`: ``data_provider``
+    runs only on a miss, ``material`` must come from
+    :func:`context_material`, and the ``stages.fit`` injection site
+    guards the training compute.
+    """
+    from .training import train_context_detector
+
+    kwargs = dict(context_kwargs)
+    if cache is None:
+        faults.check("stages.fit", token=fault_token)
+        return train_context_detector(data_provider(), **kwargs), False
+
+    def compute() -> Dict[str, np.ndarray]:
+        faults.check("stages.fit", token=fault_token)
+        return train_context_detector(data_provider(), **kwargs).to_arrays()
+
+    arrays, hit = cache.fetch(CONTEXT_STAGE, material, compute)
+    return ContextDetector.from_arrays(arrays), hit
 
 
 def run_scenario_cached(
@@ -312,6 +377,10 @@ def run_scenario_cached(
         result = simulate()
         return {
             **series_to_arrays(result.series, "series"),
+            "series_syscalls": result.syscalls,
+            "start_interval_index": np.array(
+                result.start_interval_index, dtype=np.int64
+            ),
             "name": np.array(result.name),
             "event_labels": np.array(
                 [e.label for e in result.events], dtype=np.str_
@@ -338,6 +407,8 @@ def run_scenario_cached(
     result = ScenarioResult(
         name=str(arrays["name"]),
         series=series_from_arrays(arrays, "series", config.spec),
+        syscalls=np.asarray(arrays["series_syscalls"], dtype=np.int64),
+        start_interval_index=int(arrays["start_interval_index"]),
         events=[
             ScenarioEvent(label=str(label), time_ns=int(t), interval_index=int(i))
             for label, t, i in zip(

@@ -10,23 +10,40 @@ in the paper), and :func:`train_detector` applies the learning recipe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
 
 from ..core.series import HeatMapSeries
+from ..learn.contexts import ContextDetector
 from ..learn.detector import MhmDetector
 from ..obs import span
 from ..sim.platform import Platform, PlatformConfig
 
-__all__ = ["TrainingData", "collect_training_data", "train_detector"]
+__all__ = [
+    "TrainingData",
+    "collect_training_data",
+    "train_detector",
+    "train_context_detector",
+]
 
 
 @dataclass
 class TrainingData:
-    """Normal MHMs for learning plus a held-out set for θ calibration."""
+    """Normal MHMs for learning plus a held-out set for θ calibration.
+
+    ``training_syscalls`` holds one per-run syscall-frequency matrix per
+    fresh boot (the context modality's drift channel needs per-run
+    phase alignment, so runs stay separate); ``validation_syscalls`` is
+    the held-out boot's matrix, aligned row-for-row with
+    ``validation``.
+    """
 
     training: HeatMapSeries
     validation: HeatMapSeries
+    training_syscalls: List[np.ndarray] = field(default_factory=list)
+    validation_syscalls: Optional[np.ndarray] = None
 
     @property
     def num_training(self) -> int:
@@ -35,6 +52,10 @@ class TrainingData:
     @property
     def num_validation(self) -> int:
         return len(self.validation)
+
+    @property
+    def has_syscalls(self) -> bool:
+        return bool(self.training_syscalls) and self.validation_syscalls is not None
 
 
 def collect_training_data(
@@ -65,16 +86,24 @@ def collect_training_data(
     config = config or PlatformConfig()
 
     training = HeatMapSeries(config.spec)
+    training_syscalls: List[np.ndarray] = []
     with span("collect.training"):
         for run in range(runs):
             with span("collect.training_run"):
                 platform = Platform(config.with_seed(base_seed + run))
                 training.extend(platform.collect_intervals(intervals_per_run))
+                training_syscalls.append(platform.syscall_matrix())
 
     with span("collect.validation"):
         validation_platform = Platform(config.with_seed(base_seed + runs))
         validation = validation_platform.collect_intervals(validation_intervals)
-    return TrainingData(training=training, validation=validation)
+        validation_syscalls = validation_platform.syscall_matrix()
+    return TrainingData(
+        training=training,
+        validation=validation,
+        training_syscalls=training_syscalls,
+        validation_syscalls=validation_syscalls,
+    )
 
 
 def train_detector(
@@ -102,3 +131,28 @@ def train_detector(
     )
     with span("train.fit"):
         return detector.fit(data.training, data.validation)
+
+
+def train_context_detector(
+    data: TrainingData,
+    num_contexts: int = 12,
+    seed: int = 0,
+    **detector_kwargs,
+) -> ContextDetector:
+    """Train the syscall-distribution context detector (second modality).
+
+    Requires :class:`TrainingData` collected with syscall capture (any
+    data from :func:`collect_training_data`); raises otherwise rather
+    than silently fitting on nothing.
+    """
+    if not data.has_syscalls:
+        raise ValueError(
+            "TrainingData carries no syscall matrices; collect it via "
+            "collect_training_data (or thread syscall capture through "
+            "your custom collection path)"
+        )
+    detector = ContextDetector(
+        num_contexts=num_contexts, seed=seed, **detector_kwargs
+    )
+    with span("train.fit_contexts"):
+        return detector.fit(data.training_syscalls, data.validation_syscalls)

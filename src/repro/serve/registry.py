@@ -24,14 +24,16 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from ..learn.contexts import ContextDetector
 from ..learn.detector import MhmDetector
 from ..pipeline.cache import ArtifactCache
 from ..pipeline.stages import (
     collect_training_data_cached,
+    context_material,
     detector_material,
     training_material,
 )
-from ..pipeline.stages import train_detector_cached
+from ..pipeline.stages import train_context_detector_cached, train_detector_cached
 from ..sim.fleet import profile_config
 
 __all__ = ["FleetTrainSpec", "DetectorRegistry"]
@@ -82,6 +84,7 @@ class DetectorRegistry:
         self.train = train
         self.cache = cache
         self._detectors: Dict[str, MhmDetector] = {}
+        self._contexts: Dict[str, ContextDetector] = {}
         self.cache_hits = 0
 
     def detector_for(self, profile: str) -> MhmDetector:
@@ -89,6 +92,14 @@ class DetectorRegistry:
         if detector is None:
             detector = self._train(profile)
             self._detectors[profile] = detector
+        return detector
+
+    def context_detector_for(self, profile: str) -> ContextDetector:
+        """The profile's second-modality model (trained lazily, cached)."""
+        detector = self._contexts.get(profile)
+        if detector is None:
+            detector = self._train_context(profile)
+            self._contexts[profile] = detector
         return detector
 
     def detectors(self, profiles: Iterable[str]) -> Dict[str, MhmDetector]:
@@ -102,11 +113,28 @@ class DetectorRegistry:
             for profile in sorted(set(profiles))
         }
 
+    def context_arrays_payload(self, profiles: Iterable[str]) -> Dict[str, dict]:
+        """Fitted context models per profile, picklable for workers."""
+        return {
+            profile: self.context_detector_for(profile).to_arrays()
+            for profile in sorted(set(profiles))
+        }
+
     @staticmethod
     def detectors_from_payload(payload: Dict[str, dict]) -> Dict[str, MhmDetector]:
         """Rebuild the detectors inside a shard worker (bit-exact)."""
         return {
             profile: MhmDetector.from_arrays(arrays)
+            for profile, arrays in payload.items()
+        }
+
+    @staticmethod
+    def contexts_from_payload(
+        payload: Dict[str, dict]
+    ) -> Dict[str, ContextDetector]:
+        """Rebuild the context models inside a shard worker (bit-exact)."""
+        return {
+            profile: ContextDetector.from_arrays(arrays)
             for profile, arrays in payload.items()
         }
 
@@ -145,6 +173,43 @@ class DetectorRegistry:
             data_provider,
             detector_material(train_mat, detector_kwargs),
             detector_kwargs,
+            cache=self.cache,
+            fault_token=f"serve:{profile}",
+        )
+        if hit:
+            self.cache_hits += 1
+        return detector
+
+    def _train_context(self, profile: str) -> ContextDetector:
+        config = profile_config(profile)
+        base_seed, detector_seed = _profile_seeds(self.root_seed, profile)
+        spec = self.train
+        context_kwargs = {"seed": detector_seed}
+        train_mat = training_material(
+            config,
+            spec.runs,
+            spec.intervals_per_run,
+            spec.validation_intervals,
+            base_seed,
+        )
+
+        def data_provider():
+            data, hit = collect_training_data_cached(
+                config,
+                runs=spec.runs,
+                intervals_per_run=spec.intervals_per_run,
+                validation_intervals=spec.validation_intervals,
+                base_seed=base_seed,
+                cache=self.cache,
+            )
+            if hit:
+                self.cache_hits += 1
+            return data
+
+        detector, hit = train_context_detector_cached(
+            data_provider,
+            context_material(train_mat, context_kwargs),
+            context_kwargs,
             cache=self.cache,
             fault_token=f"serve:{profile}",
         )

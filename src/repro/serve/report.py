@@ -32,16 +32,29 @@ def device_digest(
     interval_indices: Sequence[int],
     log_densities: Sequence[float],
     flags: Sequence[str],
+    context_scores: Optional[Sequence[float]] = None,
 ) -> str:
     """sha256 over one device's scored stream.
 
     Log-densities are hashed via their IEEE-754 hex representation, so
     the digest is sensitive to the last ulp — a single bit of drift in
-    any verdict anywhere in the stream changes it.
+    any verdict anywhere in the stream changes it.  When the worker
+    scores a second modality it passes ``context_scores``, which chain
+    into the digest the same way; single-modality digests are unchanged
+    from earlier schema builds.
     """
     h = hashlib.sha256()
-    for index, density, flag in zip(interval_indices, log_densities, flags):
-        h.update(f"{index}:{float(density).hex()}:{flag};".encode())
+    if context_scores is None:
+        for index, density, flag in zip(interval_indices, log_densities, flags):
+            h.update(f"{index}:{float(density).hex()}:{flag};".encode())
+        return h.hexdigest()
+    for index, density, score, flag in zip(
+        interval_indices, log_densities, context_scores, flags
+    ):
+        h.update(
+            f"{index}:{float(density).hex()}:"
+            f"{float(score).hex()}:{flag};".encode()
+        )
     return h.hexdigest()
 
 
@@ -73,6 +86,11 @@ class DeviceReport:
     suggested_threshold: Optional[float]
     digest: str
     log_densities: Optional[List[float]] = None  # kept only on request
+    # Second-modality accounting (defaults keep schema-1 payloads
+    # loadable; all three stay at their defaults under modality "mhm").
+    context_flagged: int = 0
+    context_drift_max: Optional[float] = None
+    context_drift_exceeded: bool = False
 
     @property
     def false_positive_rate(self) -> Optional[float]:
@@ -112,6 +130,7 @@ class FleetReport:
     attacked_devices_alarmed: int
     devices_drifted: int
     fleet_digest: str
+    modality: str = "mhm"
     device_reports: List[DeviceReport] = field(default_factory=list)
 
     @classmethod
@@ -150,6 +169,7 @@ class FleetReport:
             attacked_devices_alarmed=sum(1 for r in attacked if r.alarms > 0),
             devices_drifted=sum(1 for r in reports if r.drifted),
             fleet_digest=fleet.hexdigest(),
+            modality=getattr(config, "modality", "mhm"),
             device_reports=reports,
         )
 

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import faults, kernels, obs
 from ..faults.plan import FaultPlan
+from ..learn.ensemble import EnsembleConfig
 from ..obs.manifest import to_jsonable
 from ..obs.snapshots import SnapshotWriter
 from ..pipeline.cache import ArtifactCache
@@ -42,7 +43,7 @@ from .drift import DriftMonitor, DriftPolicy
 from .registry import DetectorRegistry, FleetTrainSpec
 from .report import DeviceReport, FleetReport
 from .router import POLICIES, StreamRouter
-from .worker import ShardWorker
+from .worker import MODALITIES, ShardWorker
 
 __all__ = ["ServeConfig", "TelemetryConfig", "FleetService"]
 
@@ -117,8 +118,17 @@ class ServeConfig:
     use_cache: bool = True
     keep_densities: bool = False
     drift: DriftPolicy = field(default_factory=DriftPolicy)
+    #: Scoring mode: "mhm" (default — reports and digests identical to
+    #: earlier single-modality builds), "contexts", or "ensemble".
+    modality: str = "mhm"
+    ensemble: EnsembleConfig = field(default_factory=EnsembleConfig)
 
     def __post_init__(self) -> None:
+        if self.modality not in MODALITIES:
+            raise ValueError(
+                f"unknown modality {self.modality!r}; "
+                f"choose from {MODALITIES}"
+            )
         if self.devices < 1:
             raise ValueError("devices must be >= 1")
         if not 1 <= self.shards <= self.devices:
@@ -144,6 +154,7 @@ def _run_shard(
     fault_plan: Optional[FaultPlan],
     telemetry: Optional[TelemetryConfig] = None,
     in_process: bool = True,
+    context_payload: Optional[Dict[str, dict]] = None,
 ) -> Tuple[List[DeviceReport], Dict[str, int], Optional[dict]]:
     """One shard's full run (module-level: picklable for worker pools).
 
@@ -182,6 +193,11 @@ def _run_shard(
     try:
         with faults.injected(fault_plan):
             detectors = DetectorRegistry.detectors_from_payload(detector_payload)
+            context_detectors = (
+                DetectorRegistry.contexts_from_payload(context_payload)
+                if context_payload is not None
+                else None
+            )
             worker = ShardWorker(
                 detectors,
                 specs,
@@ -190,6 +206,9 @@ def _run_shard(
                 batch_pad=config.batch_size,
                 drift=DriftMonitor(config.drift, shard=shard_index),
                 shard=shard_index,
+                modality=config.modality,
+                context_detectors=context_detectors,
+                ensemble=config.ensemble,
             )
             router = StreamRouter(
                 worker,
@@ -307,6 +326,13 @@ class FleetService:
                 root_seed=config.seed, train=config.train, cache=self._cache()
             )
             payload = registry.arrays_payload(spec.profile for spec in specs)
+            context_payload = (
+                registry.context_arrays_payload(
+                    spec.profile for spec in specs
+                )
+                if config.modality != "mhm"
+                else None
+            )
         if log.enabled:
             log.event(
                 "serve.detectors.ready",
@@ -323,6 +349,7 @@ class FleetService:
                 _run_shard(
                     0, specs, payload, config, self.fault_plan,
                     telemetry=telemetry, in_process=True,
+                    context_payload=context_payload,
                 )
             ]
         else:
@@ -331,6 +358,7 @@ class FleetService:
                     pool.submit(
                         _run_shard, shard, shard_specs[shard], payload,
                         config, self.fault_plan, telemetry, False,
+                        context_payload,
                     )
                     for shard in range(config.shards)
                 ]

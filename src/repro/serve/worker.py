@@ -33,16 +33,27 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .. import faults, kernels, obs
+from ..learn.contexts import ContextDetector
 from ..learn.detector import MhmDetector
+from ..learn.ensemble import EnsembleConfig
 from ..obs.context import trace_args
 from ..sim.fleet import DeviceSpec, IntervalRecord
 from .drift import DriftMonitor
 from .report import DeviceReport, device_digest
 
-__all__ = ["batched_log_densities", "DeviceState", "ShardWorker"]
+__all__ = [
+    "MODALITIES",
+    "batched_log_densities",
+    "DeviceState",
+    "ShardWorker",
+]
 
 #: Verdict labels recorded per scored interval.
 OK, ANOMALOUS, SKIPPED = "ok", "anomalous", "skipped"
+
+#: Scoring modes: MHM densities only, syscall contexts only, or both
+#: fused under an :class:`~repro.learn.ensemble.EnsembleConfig` rule.
+MODALITIES = ("mhm", "contexts", "ensemble")
 
 
 def batched_log_densities(
@@ -75,7 +86,14 @@ def batched_log_densities(
 
 @dataclass
 class DeviceState:
-    """Accumulated scoring record for one device on a shard."""
+    """Accumulated scoring record for one device on a shard.
+
+    The context-modality fields stay empty under ``modality="mhm"``.
+    ``context_cumulative`` is the drift channel's running
+    phase-residual sum — per-device and advanced strictly in interval
+    order, so it is shard-placement invariant (a device lives on
+    exactly one shard and its records arrive in stream order).
+    """
 
     spec: DeviceSpec
     interval_indices: List[int] = field(default_factory=list)
@@ -86,6 +104,11 @@ class DeviceState:
     emitted: int = 0
     dropped: int = 0
     streak: int = 0
+    context_scores: List[float] = field(default_factory=list)
+    context_flagged: int = 0
+    context_cumulative: Optional[np.ndarray] = None
+    context_drift_max: float = 0.0
+    context_drift_exceeded: bool = False
 
 
 class ShardWorker:
@@ -100,19 +123,50 @@ class ShardWorker:
         batch_pad: int = 32,
         drift: Optional[DriftMonitor] = None,
         shard: int = 0,
+        modality: str = "mhm",
+        context_detectors: Optional[Dict[str, ContextDetector]] = None,
+        ensemble: Optional[EnsembleConfig] = None,
     ):
         if batch_pad < 1:
             raise ValueError("batch_pad must be >= 1")
+        if modality not in MODALITIES:
+            raise ValueError(
+                f"unknown modality {modality!r}; choose from {MODALITIES}"
+            )
+        if modality != "mhm" and not context_detectors:
+            raise ValueError(
+                f"modality {modality!r} needs per-profile context detectors"
+            )
         self.detectors = detectors
         self.p_percent = p_percent
         self.consecutive_for_alarm = consecutive_for_alarm
         self.batch_pad = batch_pad
         self.shard = shard
+        self.modality = modality
+        self.context_detectors = context_detectors or {}
+        self.ensemble = ensemble if ensemble is not None else EnsembleConfig()
         self.drift = drift if drift is not None else DriftMonitor(shard=shard)
+        # The MHM budget: the full p under single-modality scoring, the
+        # ensemble's share of it when both modalities split the budget.
+        mhm_p = self.ensemble.p_mhm if modality == "ensemble" else p_percent
         self.thetas = {
-            profile: detector.threshold(p_percent)
+            profile: detector.threshold(mhm_p)
             for profile, detector in detectors.items()
         }
+        self.context_thetas: Dict[str, float] = {}
+        self._phase_means: Dict[str, np.ndarray] = {}
+        if modality != "mhm":
+            context_p = (
+                self.ensemble.p_context if modality == "ensemble" else p_percent
+            )
+            self.context_thetas = {
+                profile: context.threshold(context_p)
+                for profile, context in self.context_detectors.items()
+            }
+            self._phase_means = {
+                profile: context.phase_means_
+                for profile, context in self.context_detectors.items()
+            }
         self.states: Dict[str, DeviceState] = {
             spec.device_id: DeviceState(spec=spec) for spec in specs
         }
@@ -124,6 +178,14 @@ class ShardWorker:
         self._metric_shard_scored = registry.counter_family(
             "serve.shard.intervals_scored", ("shard",)
         ).labels(shard=str(shard))
+        modality_flags = registry.counter_family(
+            "serve.modality.flags", ("modality",)
+        )
+        self._metric_mhm_flags = modality_flags.labels(modality="mhm")
+        self._metric_context_flags = modality_flags.labels(modality="context")
+        self._metric_modality_alarms = registry.counter_family(
+            "serve.modality.alarms", ("modality",)
+        ).labels(modality=modality)
         self._log = obs.logger()
         self._tracer = obs.tracer()
 
@@ -160,12 +222,33 @@ class ShardWorker:
                 self.detectors[profile], matrix, pad_to=self.batch_pad
             )
             theta = self.thetas[profile]
-            for record, log_density in zip(group, densities):
+            context_scores: Optional[np.ndarray] = None
+            if self.modality != "mhm":
+                # nearest_context_batch is row-separable (no BLAS), so
+                # scores need no fixed-shape padding to stay
+                # batch-composition independent.
+                syscalls = np.stack([record.syscalls for record in group])
+                context_scores = self.context_detectors[profile].score_series(
+                    syscalls
+                )
+            for position, (record, log_density) in enumerate(
+                zip(group, densities)
+            ):
                 state = self.states[record.device_id]
                 if not np.isfinite(log_density):
                     self._skip(state, record, reason="non-finite-density")
                     continue
-                self._record(state, record, float(log_density), theta)
+                self._record(
+                    state,
+                    record,
+                    float(log_density),
+                    theta,
+                    context_score=(
+                        float(context_scores[position])
+                        if context_scores is not None
+                        else None
+                    ),
+                )
 
     def record_dropped(self, record: IntervalRecord) -> None:
         """Account for a record the router evicted (drop-oldest)."""
@@ -201,6 +284,8 @@ class ShardWorker:
         state.log_densities.append(float("nan"))
         state.flags.append(SKIPPED)
         state.truths.append(record.truth)
+        if self.modality != "mhm":
+            state.context_scores.append(float("nan"))
         state.streak = 0
         self._metric_skipped.inc()
         if self._log.enabled:
@@ -217,14 +302,70 @@ class ShardWorker:
         if self._tracer.enabled:
             self._verdict_telemetry(record, SKIPPED, reason=reason)
 
+    def _context_flag(
+        self, state: DeviceState, record: IntervalRecord, score: float
+    ) -> bool:
+        """Context-modality verdict: score channel OR drift channel.
+
+        Advances the device's running phase-residual cumsum — called
+        exactly once per scored record, in interval order.
+        """
+        context = self.context_detectors[record.profile]
+        state.context_scores.append(score)
+        counts = np.asarray(record.syscalls, dtype=np.float64)
+        phase = record.interval_index % context.hyperperiod
+        residual = counts - self._phase_means[record.profile][phase]
+        if state.context_cumulative is None:
+            state.context_cumulative = np.zeros_like(residual)
+        state.context_cumulative += residual
+        statistic = float(np.abs(state.context_cumulative).max())
+        state.context_drift_max = max(state.context_drift_max, statistic)
+        drift_exceeded = statistic > context.drift_bound_
+        if drift_exceeded:
+            state.context_drift_exceeded = True
+        flagged = score > self.context_thetas[record.profile] or drift_exceeded
+        if flagged:
+            state.context_flagged += 1
+        return flagged
+
+    def _fused_verdict(
+        self,
+        state: DeviceState,
+        record: IntervalRecord,
+        log_density: float,
+        theta: float,
+        context_score: Optional[float],
+    ) -> bool:
+        mhm_flag = log_density < theta
+        if mhm_flag:
+            self._metric_mhm_flags.inc()
+        if self.modality == "mhm":
+            return mhm_flag
+        context_flag = self._context_flag(state, record, context_score)
+        if context_flag:
+            self._metric_context_flags.inc()
+        if self.modality == "contexts":
+            return context_flag
+        rule = self.ensemble.rule
+        if rule == "or":
+            return mhm_flag or context_flag
+        if rule == "and":
+            return mhm_flag and context_flag
+        weight = self.ensemble.mhm_weight
+        vote = weight * mhm_flag + (1.0 - weight) * context_flag
+        return vote >= self.ensemble.vote_threshold
+
     def _record(
         self,
         state: DeviceState,
         record: IntervalRecord,
         log_density: float,
         theta: float,
+        context_score: Optional[float] = None,
     ) -> None:
-        anomalous = log_density < theta
+        anomalous = self._fused_verdict(
+            state, record, log_density, theta, context_score
+        )
         state.interval_indices.append(record.interval_index)
         state.log_densities.append(log_density)
         state.flags.append(ANOMALOUS if anomalous else OK)
@@ -242,6 +383,7 @@ class ShardWorker:
             if state.streak == self.consecutive_for_alarm:
                 state.alarms.append(record.interval_index)
                 self._metric_alarms.inc()
+                self._metric_modality_alarms.inc()
                 if self._log.enabled:
                     self._log.event(
                         "serve.alarm",
@@ -325,7 +467,17 @@ class ShardWorker:
             drift_expected_rate=status.expected_rate,
             suggested_threshold=status.suggested_threshold,
             digest=device_digest(
-                state.interval_indices, state.log_densities, state.flags
+                state.interval_indices,
+                state.log_densities,
+                state.flags,
+                context_scores=(
+                    state.context_scores if self.modality != "mhm" else None
+                ),
             ),
             log_densities=list(state.log_densities) if keep_densities else None,
+            context_flagged=state.context_flagged,
+            context_drift_max=(
+                state.context_drift_max if self.modality != "mhm" else None
+            ),
+            context_drift_exceeded=state.context_drift_exceeded,
         )

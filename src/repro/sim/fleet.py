@@ -142,6 +142,9 @@ class IntervalRecord:
     truth: bool  # ground-truth anomaly label (attack active)
     time_ns: int = 0
     trace: Optional[TraceContext] = None
+    #: int64 syscall-frequency vector for the same interval (the
+    #: context modality's input); ``None`` only on legacy records.
+    syscalls: Optional[np.ndarray] = None
 
 
 def build_fleet_specs(
@@ -277,6 +280,7 @@ class DeviceStream:
         start = platform.intervals_completed
         platform.run_intervals(1)
         heat_map = platform.secure_core.series(start=start)[0]
+        syscalls = platform.syscall_matrix(start=start)[0]
         self.emitted += 1
         trace = None
         if self._tracer.enabled:
@@ -299,6 +303,7 @@ class DeviceStream:
             truth=self._truth(index),
             time_ns=heat_map.start_time_ns,
             trace=trace,
+            syscalls=syscalls,
         )
 
 

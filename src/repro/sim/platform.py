@@ -27,6 +27,7 @@ from ..hw.securecore import SecureCore
 from .devices import NetworkDevice
 from .engine import NS_PER_MS, Simulator
 from .kernel.kernel import Kernel
+from .kernel.syscalls import DEFAULT_SYSCALLS
 from .kernel.layout import KERNEL_TEXT_BASE, KERNEL_TEXT_SIZE
 from .kernel.process import ProcessManager
 from .kernel.scheduler import RMScheduler
@@ -164,6 +165,20 @@ class Platform:
             device.start()
             self.devices.append(device)
 
+        # Per-interval syscall-frequency capture (the second detection
+        # modality of repro.learn.contexts): at every interval boundary
+        # the cumulative kernel invocation counters are differenced into
+        # one int64 histogram over the syscall vocabulary, aligned with
+        # the secure core's MHM interval indices.  Hijacked syscalls
+        # still dispatch under their own ``syscall.<name>`` burst kind,
+        # so the histogram sees the call regardless of table patching.
+        self.syscall_vocabulary: tuple[str, ...] = DEFAULT_SYSCALLS
+        self._syscall_index = {
+            name: i for i, name in enumerate(self.syscall_vocabulary)
+        }
+        self._syscall_prev: dict[str, int] = {}
+        self._syscall_rows: list[np.ndarray] = []
+
         registry = obs.metrics()
         self._metric_ticks = registry.counter("platform.ticks")
         self._metric_intervals = registry.counter("platform.intervals")
@@ -224,6 +239,22 @@ class Platform:
                 args={"interval_index": index},
             )
         self.memometer.interval_boundary(self.sim.now)
+        self._capture_syscall_interval()
+
+    def _capture_syscall_interval(self) -> None:
+        """Difference the cumulative syscall counters into this
+        interval's histogram (the persisted ``prev`` dict makes the
+        first interval exact rather than a diff against zero)."""
+        row = np.zeros(len(self.syscall_vocabulary), dtype=np.int64)
+        for name, total in self.kernel.invocation_counts.items():
+            if not name.startswith("syscall."):
+                continue
+            index = self._syscall_index.get(name[len("syscall."):])
+            previous = self._syscall_prev.get(name, 0)
+            self._syscall_prev[name] = total
+            if index is not None:
+                row[index] = total - previous
+        self._syscall_rows.append(row)
 
     # ------------------------------------------------------------------
     # Running
@@ -262,3 +293,17 @@ class Platform:
     def heatmap_series(self) -> HeatMapSeries:
         """All MHMs collected since construction."""
         return self.secure_core.series()
+
+    def syscall_matrix(self, start: int = 0) -> np.ndarray:
+        """Per-interval syscall histograms from interval ``start`` on.
+
+        Row *i* of the returned ``(intervals, len(syscall_vocabulary))``
+        int64 matrix is the syscall-frequency vector of the interval
+        whose MHM sits at ``secure_core.series()[start + i]`` — the two
+        capture paths share the interval-boundary callback, so indices
+        align by construction.
+        """
+        rows = self._syscall_rows[start:]
+        if not rows:
+            return np.zeros((0, len(self.syscall_vocabulary)), dtype=np.int64)
+        return np.stack(rows)

@@ -162,7 +162,9 @@ class TestValidation:
         with pytest.raises(ValueError) as excinfo:
             validate_declarations(["bad"])
         message = str(excinfo.value)
-        assert message.count("declares no expected outcome") == 4
+        assert message.count("declares no expected outcome") == len(
+            matrix_mod.OUTCOME_VOCABULARY
+        )
         assert "unknown detector column" in message
 
 

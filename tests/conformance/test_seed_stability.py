@@ -1,0 +1,66 @@
+"""Fresh-interpreter seed stability for the two-modality stack.
+
+The repo's determinism claims are usually checked within one process;
+this test closes the remaining gap by running the full pipeline —
+training both modalities, fusing them, building the tiny conformance
+matrix — in **two separate interpreters with different
+``PYTHONHASHSEED``** values and asserting the fingerprints and the
+canonical matrix digest are byte-identical.  Anything that leaked set-
+or dict-iteration order, ``id()``-keyed state or hash-dependent tie
+breaking into the numerics would diverge here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.conformance, pytest.mark.contexts, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SNIPPET = """
+import json
+
+from repro.conformance.matrix import build_matrix
+from repro.learn.ensemble import EnsembleDetector
+from repro.pipeline.experiments import QUICK_SCALE, get_reference_artifacts
+
+artifacts = get_reference_artifacts(QUICK_SCALE)
+ensemble = EnsembleDetector(artifacts.detector, artifacts.context_detector)
+matrix = build_matrix()  # tiny sizing
+print(json.dumps({
+    "context_fingerprint": artifacts.context_detector.fingerprint(),
+    "ensemble_fingerprint": ensemble.fingerprint(),
+    "matrix_digest": matrix.digest(),
+    "matrix_conformant": matrix.conformant,
+}))
+"""
+
+
+def _run_fresh_interpreter(hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-c", SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+        check=True,
+    )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def test_fingerprints_and_matrix_digest_survive_interpreter_restart():
+    first = _run_fresh_interpreter("0")
+    second = _run_fresh_interpreter("20260808")
+    assert first["matrix_conformant"] is True
+    assert first == second

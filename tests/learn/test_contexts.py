@@ -1,0 +1,215 @@
+"""ContextDetector unit tests: fit, both channels, persistence.
+
+The second modality's contract in hand-checkable sizes: a tiny
+periodic "task set" emits per-interval syscall count vectors with a
+known hyperperiod, the detector learns its contexts and phase means,
+and every fitted attribute round-trips bit-exactly through
+``to_arrays``/``from_arrays`` and ``save``/``load``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn.contexts import ContextDetector, cluster_contexts, sort_rows
+
+pytestmark = [pytest.mark.contexts]
+
+HYPERPERIOD = 4
+DIM = 6
+
+
+def make_run(seed: int, intervals: int = 40) -> np.ndarray:
+    """One clean boot: a periodic base pattern plus small count noise."""
+    rng = np.random.default_rng(seed)
+    pattern = np.random.default_rng(2024).integers(
+        2, 20, size=(HYPERPERIOD, DIM)
+    )
+    phases = np.arange(intervals) % HYPERPERIOD
+    noise = rng.integers(0, 3, size=(intervals, DIM))
+    return (pattern[phases] + noise).astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def fitted() -> ContextDetector:
+    runs = [make_run(seed) for seed in (1, 2, 3)]
+    detector = ContextDetector(
+        num_contexts=3, hyperperiod=HYPERPERIOD, seed=0
+    )
+    return detector.fit(runs, make_run(99))
+
+
+class TestFit:
+    def test_all_fitted_attributes_set(self, fitted):
+        assert fitted.is_fitted
+        assert fitted.centers_.shape == (3, DIM)
+        assert fitted.scales_.shape == (3,)
+        assert np.all(fitted.scales_ >= fitted.scale_floor)
+        assert set(fitted.thresholds_) == set(fitted.quantiles)
+        assert fitted.phase_sums_.shape == (HYPERPERIOD, DIM)
+        assert fitted.phase_counts_.sum() == 3 * 40
+        assert fitted.drift_bound_ > fitted.clean_drift_max_
+
+    def test_phase_means_are_exact_per_phase_averages(self, fitted):
+        runs = [make_run(seed) for seed in (1, 2, 3)]
+        stacked = np.vstack(runs)
+        phases = np.tile(np.arange(40) % HYPERPERIOD, 3)
+        for phase in range(HYPERPERIOD):
+            expected = stacked[phases == phase].mean(axis=0)
+            np.testing.assert_array_equal(
+                fitted.phase_means_[phase], expected
+            )
+
+    def test_calibration_set_flag_rate_within_budget(self, fitted):
+        # θ_p is the (100-p)-quantile of the validation scores, so the
+        # validation stream itself flags at most p percent — up to the
+        # one-interval granularity a 40-sample quantile can resolve.
+        scores = fitted.score_series(make_run(99))
+        for p in fitted.quantiles:
+            rate = float(fitted.flag_scores(scores, p).mean())
+            assert rate <= p / 100.0 + 1.0 / scores.size
+
+    def test_clean_drift_stays_under_bound(self, fitted):
+        for seed in (1, 2, 3, 99):
+            assert not fitted.drift_exceeded(make_run(seed))
+
+
+class TestScoreChannel:
+    def test_outlier_intervals_score_above_threshold(self, fitted):
+        clean = make_run(7)
+        hot = clean.copy()
+        hot[::2] += 60  # a syscall mix far from every learned context
+        flags = fitted.classify_series(hot, p_percent=1.0)
+        assert flags[::2].all()
+
+    def test_scores_are_finite_and_nonnegative(self, fitted):
+        scores = fitted.score_series(make_run(11))
+        assert np.all(np.isfinite(scores)) and np.all(scores >= 0)
+
+    def test_empty_series(self, fitted):
+        assert fitted.score_series(np.zeros((0, DIM))).size == 0
+        assert fitted.drift_series(np.zeros((0, DIM))).size == 0
+        assert not fitted.drift_exceeded(np.zeros((0, DIM)))
+
+    def test_threshold_unknown_quantile_raises(self, fitted):
+        with pytest.raises(KeyError, match="no context"):
+            fitted.threshold(0.125)
+
+
+class TestDriftChannel:
+    def test_systematic_bias_trips_the_bound(self, fitted):
+        biased = make_run(5).copy()
+        biased[:, 0] += 2  # one mimicry-style padded syscall per interval
+        assert fitted.drift_exceeded(biased)
+
+    def test_drift_series_matches_manual_cumsum(self, fitted):
+        run = make_run(13, intervals=12)
+        phases = np.arange(12) % HYPERPERIOD
+        residuals = run - fitted.phase_means_[phases]
+        expected = np.abs(np.cumsum(residuals, axis=0)).max(axis=1)
+        np.testing.assert_allclose(
+            fitted.drift_series(run), expected, rtol=0, atol=0
+        )
+
+    def test_start_index_keeps_phase_alignment(self, fitted):
+        run = make_run(17, intervals=20)
+        offset = 3
+        windowed = fitted.drift_series(run[offset:], start_index=offset)
+        phases = (np.arange(20 - offset) + offset) % HYPERPERIOD
+        residuals = run[offset:] - fitted.phase_means_[phases]
+        expected = np.abs(np.cumsum(residuals, axis=0)).max(axis=1)
+        np.testing.assert_array_equal(windowed, expected)
+
+
+class TestPersistence:
+    def test_arrays_roundtrip_is_bit_exact(self, fitted):
+        clone = ContextDetector.from_arrays(fitted.to_arrays())
+        assert clone.fingerprint() == fitted.fingerprint()
+        probe = make_run(23)
+        np.testing.assert_array_equal(
+            clone.score_series(probe), fitted.score_series(probe)
+        )
+        np.testing.assert_array_equal(
+            clone.drift_series(probe), fitted.drift_series(probe)
+        )
+        assert clone.thresholds_ == fitted.thresholds_
+        assert clone.drift_bound_ == fitted.drift_bound_
+
+    def test_save_load_roundtrip(self, fitted, tmp_path):
+        path = tmp_path / "context.npz"
+        fitted.save(path)
+        assert ContextDetector.load(path).fingerprint() == (
+            fitted.fingerprint()
+        )
+
+    def test_fingerprint_sensitive_to_fitted_state(self, fitted):
+        clone = ContextDetector.from_arrays(fitted.to_arrays())
+        clone.scales_ = clone.scales_ * (1.0 + 1e-15)
+        assert clone.fingerprint() != fitted.fingerprint()
+
+
+class TestValidation:
+    def test_unfitted_access_raises(self):
+        detector = ContextDetector()
+        assert not detector.is_fitted
+        with pytest.raises(RuntimeError, match="not been fitted"):
+            detector.score_series(np.zeros((2, DIM)))
+
+    def test_non_integer_counts_rejected(self):
+        with pytest.raises(ValueError, match="integer counts"):
+            ContextDetector(num_contexts=2, hyperperiod=2).fit(
+                [np.full((8, DIM), 1.5)], make_run(0)
+            )
+
+    def test_missing_phase_coverage_rejected(self):
+        short = make_run(0, intervals=HYPERPERIOD - 1)
+        with pytest.raises(ValueError, match="every schedule phase"):
+            ContextDetector(num_contexts=2, hyperperiod=HYPERPERIOD).fit(
+                [short], short
+            )
+
+    def test_mismatched_vocabularies_rejected(self):
+        with pytest.raises(ValueError, match="one syscall vocabulary"):
+            ContextDetector(num_contexts=2, hyperperiod=2).fit(
+                [make_run(0)], make_run(1)[:, :-1]
+            )
+
+    def test_no_training_runs_rejected(self):
+        with pytest.raises(ValueError, match="at least one training run"):
+            ContextDetector().fit([], make_run(0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_contexts": 0},
+            {"scale_quantile": 0.0},
+            {"scale_quantile": 101.0},
+            {"scale_floor": -1.0},
+            {"hyperperiod": 0},
+            {"drift_multiplier": 0.5},
+            {"quantiles": (0.0,)},
+            {"quantiles": (100.0,)},
+        ],
+    )
+    def test_bad_constructor_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            ContextDetector(**kwargs)
+
+    def test_sort_rows_rejects_non_matrix(self):
+        with pytest.raises(ValueError, match=r"\(N, D\) matrix"):
+            sort_rows(np.zeros(4))
+
+
+class TestCanonicalisation:
+    def test_sort_rows_is_lexicographic(self):
+        rows = np.array([[2, 1], [1, 9], [1, 2], [2, 0]])
+        np.testing.assert_array_equal(
+            sort_rows(rows), np.array([[1, 2], [1, 9], [2, 0], [2, 1]])
+        )
+
+    def test_cluster_contexts_deterministic_per_seed(self):
+        rows = make_run(31)
+        first = cluster_contexts(rows, 3, seed=5)
+        second = cluster_contexts(rows, 3, seed=5)
+        np.testing.assert_array_equal(first.centers, second.centers)

@@ -1,0 +1,169 @@
+"""EnsembleDetector unit tests: budget split, fusion rules, identity.
+
+The combiner's contract is arithmetic, so most of these run on
+hand-picked density/score arrays with explicit thresholds; the tests
+that need real fitted models reuse the session-scoped quick-scale
+reference artifacts (which now carry both modalities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn.ensemble import (
+    ENSEMBLE_RULES,
+    EnsembleConfig,
+    EnsembleDetector,
+    allowed_false_positive_rate,
+)
+
+pytestmark = [pytest.mark.contexts]
+
+
+def hand_ensemble(rule: str = "or", **kwargs) -> EnsembleDetector:
+    """An ensemble over explicit thresholds; no fitted models needed."""
+    config = EnsembleConfig(rule=rule, **kwargs)
+    return EnsembleDetector(
+        None, None, config, theta_mhm=0.0, theta_context=1.0
+    )
+
+
+class TestBudgetMath:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    @pytest.mark.parametrize("share", [0.1, 1.0 / 3.0, 0.5, 0.9])
+    def test_split_sums_exactly_to_total(self, p, share):
+        config = EnsembleConfig(p_percent=p, mhm_share=share)
+        assert config.p_mhm + config.p_context == p
+
+    def test_allowed_rate_formula(self):
+        allowed = allowed_false_positive_rate(1.0, 400)
+        expected = 0.01 + 2.0 * np.sqrt(0.01 * 0.99 / 400) + 1.0 / 400
+        assert allowed == pytest.approx(expected)
+
+    def test_allowed_rate_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="samples"):
+            allowed_false_positive_rate(1.0, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p_percent": 0.0},
+            {"p_percent": 100.0},
+            {"mhm_share": 0.0},
+            {"mhm_share": 1.0},
+            {"rule": "xor"},
+            {"mhm_weight": 1.5},
+            {"vote_threshold": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EnsembleConfig(**kwargs)
+
+
+class TestFusionRules:
+    # theta_mhm=0 (flag density < 0), theta_context=1 (flag score > 1):
+    # interval 0 is MHM-only, interval 1 context-only, interval 2 both,
+    # interval 3 neither.
+    DENSITIES = np.array([-1.0, 1.0, -1.0, 1.0])
+    SCORES = np.array([0.1, 5.0, 5.0, 0.1])
+
+    def test_modality_flags(self):
+        mhm, context = hand_ensemble().modality_flags(
+            self.DENSITIES, self.SCORES
+        )
+        np.testing.assert_array_equal(mhm, [True, False, True, False])
+        np.testing.assert_array_equal(context, [False, True, True, False])
+
+    def test_or_rule(self):
+        fused = hand_ensemble("or").classify(self.DENSITIES, self.SCORES)
+        np.testing.assert_array_equal(fused, [True, True, True, False])
+
+    def test_and_rule(self):
+        fused = hand_ensemble("and").classify(self.DENSITIES, self.SCORES)
+        np.testing.assert_array_equal(fused, [False, False, True, False])
+
+    def test_weighted_rule_majority(self):
+        fused = hand_ensemble(
+            "weighted", mhm_weight=0.7, vote_threshold=0.5
+        ).classify(self.DENSITIES, self.SCORES)
+        # 0.7 x mhm + 0.3 x context: only MHM votes clear 0.5.
+        np.testing.assert_array_equal(fused, [True, False, True, False])
+
+    def test_weighted_rule_equal_weights_acts_like_or(self):
+        fused = hand_ensemble(
+            "weighted", mhm_weight=0.5, vote_threshold=0.5
+        ).classify(self.DENSITIES, self.SCORES)
+        np.testing.assert_array_equal(fused, [True, True, True, False])
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            hand_ensemble().modality_flags(self.DENSITIES, self.SCORES[:2])
+
+    def test_rule_registry_is_exhaustive(self):
+        assert ENSEMBLE_RULES == ("or", "and", "weighted")
+
+
+class TestCalibrate:
+    def test_calibrated_or_rate_stays_within_budget(self):
+        rng = np.random.default_rng(0)
+        densities = rng.normal(size=2000)
+        scores = np.abs(rng.normal(size=2000))
+        config = EnsembleConfig(p_percent=1.0, mhm_share=0.5)
+        ensemble = EnsembleDetector.calibrate(
+            None, None, densities, scores, config
+        )
+        fused = ensemble.classify(densities, scores)
+        assert float(fused.mean()) <= allowed_false_positive_rate(
+            config.p_percent, densities.size
+        )
+
+    def test_each_modality_respects_its_share(self):
+        rng = np.random.default_rng(1)
+        densities = rng.normal(size=1000)
+        scores = np.abs(rng.normal(size=1000))
+        config = EnsembleConfig(p_percent=2.0, mhm_share=0.25)
+        ensemble = EnsembleDetector.calibrate(
+            None, None, densities, scores, config
+        )
+        mhm, context = ensemble.modality_flags(densities, scores)
+        slack = 1.0 / densities.size
+        assert float(mhm.mean()) <= config.p_mhm / 100.0 + slack
+        assert float(context.mean()) <= config.p_context / 100.0 + slack
+
+    def test_empty_validation_rejected(self):
+        with pytest.raises(ValueError, match="empty validation"):
+            EnsembleDetector.calibrate(
+                None, None, np.zeros(0), np.zeros(0)
+            )
+
+
+class TestWithFittedModels:
+    def test_default_thresholds_come_from_the_banks(self, quick_artifacts):
+        ensemble = EnsembleDetector(
+            quick_artifacts.detector, quick_artifacts.context_detector
+        )
+        # Default split 1.0 x 0.5 lands both budgets on the calibrated
+        # 0.5 quantile of each bank.
+        assert ensemble.theta_mhm == quick_artifacts.detector.threshold(0.5)
+        assert ensemble.theta_context == (
+            quick_artifacts.context_detector.threshold(0.5)
+        )
+
+    def test_uncalibrated_split_raises_keyerror(self, quick_artifacts):
+        with pytest.raises(KeyError):
+            EnsembleDetector(
+                quick_artifacts.detector,
+                quick_artifacts.context_detector,
+                EnsembleConfig(p_percent=1.0, mhm_share=0.3),
+            )
+
+    def test_fingerprint_stable_and_rule_sensitive(self, quick_artifacts):
+        build = lambda rule: EnsembleDetector(
+            quick_artifacts.detector,
+            quick_artifacts.context_detector,
+            EnsembleConfig(rule=rule),
+        )
+        assert build("or").fingerprint() == build("or").fingerprint()
+        assert build("or").fingerprint() != build("and").fingerprint()

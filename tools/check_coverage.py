@@ -6,8 +6,10 @@ Reads the JSON report produced by ``pytest --cov ...
 
 * **gated packages** (the ``GATES`` table) — subsystems whose PRs
   landed with a hard coverage requirement must stay at or above their
-  floor: ``src/repro/serve/``, ``src/repro/attacks/`` and
-  ``src/repro/conformance/`` at **85 %** aggregate line coverage;
+  floor: ``src/repro/serve/``, ``src/repro/attacks/``,
+  ``src/repro/conformance/`` and the second-modality modules
+  ``src/repro/learn/contexts.py`` / ``src/repro/learn/ensemble.py``
+  at **85 %** aggregate line coverage;
 * the rest of ``src/repro/`` — must never regress below the captured
   baseline in ``tools/coverage_baseline.json``.
 
@@ -32,6 +34,8 @@ GATES = {
     "src/repro/serve/": 85.0,
     "src/repro/attacks/": 85.0,
     "src/repro/conformance/": 85.0,
+    "src/repro/learn/contexts.py": 85.0,
+    "src/repro/learn/ensemble.py": 85.0,
 }
 BASELINE_PATH = pathlib.Path(__file__).parent / "coverage_baseline.json"
 
