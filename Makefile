@@ -23,6 +23,9 @@ COVFLAGS := $(shell $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1 \
 # new deprecations in our own modules fail CI instead of scrolling by.
 # Tests marked @pytest.mark.slow (exhaustive sweeps, end-to-end monitor
 # runs) are skipped here; `make test` and CI's full job still run them.
+# The fused fleet-kernel differential suite (tests/kernels/test_fused.py
+# — float64 bitwise pins, float32 ULP budget, padding purity) is
+# unmarked and therefore part of this tier.
 test-fast:
 	$(PYTHON) tools/check_log_schema.py src
 	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m "not slow" -W "error:::repro" $(COVFLAGS)
@@ -59,7 +62,8 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -s
 
 # Kernel speedup gate: times every repro.kernels hot path under both
-# backends, writes BENCH_kernels.json, exits 5 if the vectorized
+# backends (the fused fleet path and the fleet-throughput payload
+# included), writes BENCH_kernels.json, exits 5 if the vectorized
 # backend falls below its per-kernel speedup floor.
 bench-kernels:
 	$(PYTHON) -m repro.cli bench --smoke --check --out BENCH_kernels.json

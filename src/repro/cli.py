@@ -90,7 +90,7 @@ import sys
 
 import numpy as np
 
-from . import obs
+from . import kernels, obs
 from .conformance.matrix import SIZINGS as _SIZINGS
 from .conformance.matrix import build_matrix
 from .faults import FaultPlan
@@ -491,6 +491,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--ensemble-rule", choices=ENSEMBLE_RULES, default="or",
         help="ensemble fusion rule (default or)",
+    )
+    serve.add_argument(
+        "--dtype", choices=kernels.DTYPES, default=None,
+        help="fused-kernel compute dtype: float64 (default; shipped "
+        "digests) or float32 (fast path, ULP-bounded)",
     )
     serve.add_argument(
         "--alarm-consecutive", type=int, default=3,
@@ -1006,10 +1011,12 @@ def _cmd_experiments(args) -> int:
 def _cmd_bench(args) -> int:
     from .bench import check_regressions, run_benchmarks, write_report
 
-    results = run_benchmarks(
+    results, extras = run_benchmarks(
         smoke=args.smoke, repeats=args.repeats, seed=args.seed
     )
-    payload = write_report(args.out, results, smoke=args.smoke, repeats=args.repeats)
+    payload = write_report(
+        args.out, results, smoke=args.smoke, repeats=args.repeats, extras=extras
+    )
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -1031,6 +1038,19 @@ def _cmd_bench(args) -> int:
                 f"git {payload['git_sha']}) -> {args.out}",
             )
         )
+        fleet = payload.get("fleet_throughput")
+        if fleet:
+            f64, f32 = fleet["float64"], fleet["float32"]
+            print(
+                f"fleet throughput (pad_to={fleet['pad_to']}, "
+                f"batch={fleet['batch_rows']} rows): "
+                f"float64 {f64['devices_per_sec']:,.0f} devices/s "
+                f"({f64['devices_per_10ms_interval']:,.0f} @ 10 ms), "
+                f"float32 {f32['devices_per_sec']:,.0f} devices/s "
+                f"({f32['devices_per_10ms_interval']:,.0f} @ 10 ms, "
+                f"max {f32['max_ulp_error_log_density']:.1f} ULP "
+                f"of budget {f32['ulp_budget']:.0f})"
+            )
     failures = check_regressions(results)
     if failures:
         for failure in failures:
@@ -1195,6 +1215,7 @@ def _render_fleet_report(report: FleetReport) -> str:
         ("seed", report.seed),
         ("policy", report.policy),
         ("kernels backend", report.kernels_backend),
+        ("kernels dtype", report.kernels_dtype),
         ("emitted", report.emitted),
         ("scored", report.scored),
         ("skipped", report.skipped),
@@ -1294,6 +1315,7 @@ def _cmd_serve(args) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             modality=args.modality,
+            kernels_dtype=args.dtype,
             ensemble=EnsembleConfig(
                 p_percent=args.quantile,
                 mhm_share=args.mhm_share,

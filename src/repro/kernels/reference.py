@@ -205,3 +205,59 @@ def responsibilities_batch(
         for j in range(log_joint.shape[1]):
             responsibilities[n, j] = math.exp(log_joint[n, j] - log_norm[n])
     return log_norm, responsibilities
+
+
+# ----------------------------------------------------------------------
+# Fused fleet scoring
+# ----------------------------------------------------------------------
+def fleet_score_batch(
+    matrix: np.ndarray,
+    mean: np.ndarray,
+    components: np.ndarray,
+    weights: np.ndarray,
+    means: np.ndarray,
+    cholesky_factors: np.ndarray,
+    *,
+    pad_to: Optional[int] = None,
+    dtype: str = "float64",
+    syscalls: Optional[np.ndarray] = None,
+    centers: Optional[np.ndarray] = None,
+    scales: Optional[np.ndarray] = None,
+    phase_means: Optional[np.ndarray] = None,
+    phases: Optional[np.ndarray] = None,
+) -> tuple:
+    """The fused pipeline, recomputed scalar-by-scalar.
+
+    ``dtype`` and ``pad_to`` are accepted for signature parity and
+    deliberately ignored: the oracle always computes the float64
+    answer (it is the accuracy baseline the float32 fast path is
+    budgeted against), and every scalar kernel here is row-separable,
+    so zero-padding cannot change any row's result by construction.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    reduced = project_batch(matrix, mean, components)
+    densities = log_density_batch(
+        reduced, weights, means, cholesky_factors
+    )
+    context_scores = None
+    residuals = None
+    if centers is not None:
+        data = np.atleast_2d(np.asarray(syscalls, dtype=np.float64))
+        labels, distances = nearest_context_batch(data, centers)
+        scale_list = np.asarray(scales, dtype=np.float64).tolist()
+        context_scores = np.zeros(len(data), dtype=np.float64)
+        for n in range(len(data)):
+            scale = scale_list[int(labels[n])]
+            distance = float(distances[n])
+            if scale > 0:
+                context_scores[n] = distance / scale
+            elif distance > 0:
+                context_scores[n] = math.inf
+        if phase_means is not None and phases is not None:
+            phase_rows = np.asarray(phase_means, dtype=np.float64).tolist()
+            residuals = np.empty(data.shape, dtype=np.float64)
+            for n, row in enumerate(data.tolist()):
+                phase_mean = phase_rows[int(phases[n])]
+                for d, (value, mu) in enumerate(zip(row, phase_mean)):
+                    residuals[n, d] = value - mu
+    return densities, context_scores, residuals

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..attacks.base import Attack
 from ..core.series import HeatMapSeries
 from ..learn.contexts import ContextDetector
@@ -331,23 +332,41 @@ def run_scenario_experiment(
     )
     detector = artifacts.detector
     context = artifacts.context_detector
+    has_context = context is not None and result.syscalls is not None
+    # Both modalities score through one fused kernel call.  At
+    # pad_to=None the float64 path is bit-identical to the historical
+    # detector.log10_series / context.score_series / drift_series
+    # chain, so the conformance-matrix goldens are untouched.
+    scorer = kernels.FleetScorer.from_detectors(
+        detector, context if has_context else None
+    )
     context_scores = None
     context_thresholds: dict[float, float] = {}
     context_drift_max = 0.0
     context_drift_bound = float("inf")
-    if context is not None and result.syscalls is not None:
-        context_scores = context.score_series(result.syscalls)
+    if has_context:
+        interval_indices = (
+            np.arange(len(result.syscalls)) + result.start_interval_index
+        )
+        scores = scorer.score(
+            result.series.matrix(),
+            syscalls=result.syscalls,
+            interval_indices=interval_indices,
+        )
+        context_scores = scores.context_scores
         context_thresholds = {
             q: context.threshold(q) for q in context.thresholds_
         }
-        drift = context.drift_series(
-            result.syscalls, start_index=result.start_interval_index
+        cumulative = np.cumsum(scores.context_residuals, axis=0)
+        context_drift_max = (
+            float(np.abs(cumulative).max()) if cumulative.size else 0.0
         )
-        context_drift_max = float(drift.max()) if drift.size else 0.0
         context_drift_bound = context.drift_bound_
+    else:
+        scores = scorer.score(result.series.matrix())
     return ScenarioOutcome(
         scenario=result,
-        log10_densities=detector.log10_series(result.series),
+        log10_densities=scores.log_densities / LN10,
         log10_thresholds={
             q: detector.log10_threshold(q) for q in detector.thresholds.quantiles
         },

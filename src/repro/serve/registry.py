@@ -120,6 +120,48 @@ class DetectorRegistry:
             for profile in sorted(set(profiles))
         }
 
+    def fleet_payload(
+        self, profiles: Iterable[str], modality: str = "mhm"
+    ) -> Dict[str, dict]:
+        """Bundled per-profile hand-off for the fused scoring path.
+
+        One picklable dict per profile: the MHM detector's fitted
+        arrays plus (for the context-bearing modalities) the context
+        model's — everything a shard needs to build its
+        :class:`~repro.kernels.FleetScorer` bank, shipped in a single
+        payload instead of two parallel dicts.
+        """
+        need_context = modality != "mhm"
+        return {
+            profile: {
+                "detector": self.detector_for(profile).to_arrays(),
+                "context": (
+                    self.context_detector_for(profile).to_arrays()
+                    if need_context
+                    else None
+                ),
+            }
+            for profile in sorted(set(profiles))
+        }
+
+    @staticmethod
+    def from_fleet_payload(
+        payload: Dict[str, dict]
+    ) -> tuple:
+        """Rebuild ``(detectors, context_detectors)`` inside a shard
+        worker (bit-exact); ``context_detectors`` is ``None`` when the
+        payload carries no context bundles."""
+        detectors = {
+            profile: MhmDetector.from_arrays(bundle["detector"])
+            for profile, bundle in payload.items()
+        }
+        contexts = {
+            profile: ContextDetector.from_arrays(bundle["context"])
+            for profile, bundle in payload.items()
+            if bundle.get("context") is not None
+        }
+        return detectors, (contexts or None)
+
     @staticmethod
     def detectors_from_payload(payload: Dict[str, dict]) -> Dict[str, MhmDetector]:
         """Rebuild the detectors inside a shard worker (bit-exact)."""

@@ -131,6 +131,10 @@ class FleetReport:
     devices_drifted: int
     fleet_digest: str
     modality: str = "mhm"
+    #: Fused-kernel compute dtype the run scored with.  The "float64"
+    #: default keeps schema-1 payloads written before the fast path
+    #: existed loadable (they could only have scored in float64).
+    kernels_dtype: str = "float64"
     device_reports: List[DeviceReport] = field(default_factory=list)
 
     @classmethod
@@ -141,6 +145,7 @@ class FleetReport:
         device_reports: List[DeviceReport],
         block_stalls: int,
         kernels_backend: str,
+        kernels_dtype: str = "float64",
     ) -> "FleetReport":
         reports = sorted(device_reports, key=lambda r: r.device_index)
         fleet = hashlib.sha256()
@@ -170,6 +175,7 @@ class FleetReport:
             devices_drifted=sum(1 for r in reports if r.drifted),
             fleet_digest=fleet.hexdigest(),
             modality=getattr(config, "modality", "mhm"),
+            kernels_dtype=kernels_dtype,
             device_reports=reports,
         )
 

@@ -28,7 +28,7 @@ the scores of whatever was scored still match.)
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import faults, kernels, obs
@@ -122,12 +122,27 @@ class ServeConfig:
     #: earlier single-modality builds), "contexts", or "ensemble".
     modality: str = "mhm"
     ensemble: EnsembleConfig = field(default_factory=EnsembleConfig)
+    #: Fused-kernel compute dtype for the shard scorers: "float64"
+    #: (the digest-bearing default), "float32" (opt-in fast path), or
+    #: ``None`` to inherit :func:`repro.kernels.active_dtype` at run
+    #: time.  Resolved in the parent and shipped to every shard, since
+    #: programmatic dtype overrides don't cross process-pool
+    #: boundaries (only environment variables do).
+    kernels_dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.modality not in MODALITIES:
             raise ValueError(
                 f"unknown modality {self.modality!r}; "
                 f"choose from {MODALITIES}"
+            )
+        if (
+            self.kernels_dtype is not None
+            and self.kernels_dtype not in kernels.DTYPES
+        ):
+            raise ValueError(
+                f"unknown kernels dtype {self.kernels_dtype!r}; "
+                f"choose from {kernels.DTYPES} (or None to inherit)"
             )
         if self.devices < 1:
             raise ValueError("devices must be >= 1")
@@ -149,12 +164,11 @@ class ServeConfig:
 def _run_shard(
     shard_index: int,
     specs: Sequence,
-    detector_payload: Dict[str, dict],
+    fleet_payload: Dict[str, dict],
     config: ServeConfig,
     fault_plan: Optional[FaultPlan],
     telemetry: Optional[TelemetryConfig] = None,
     in_process: bool = True,
-    context_payload: Optional[Dict[str, dict]] = None,
 ) -> Tuple[List[DeviceReport], Dict[str, int], Optional[dict]]:
     """One shard's full run (module-level: picklable for worker pools).
 
@@ -190,13 +204,14 @@ def _run_shard(
             seed=config.seed,
             devices=len(specs),
         )
+    # The parent resolved the fused-kernel dtype into the config (a
+    # programmatic kernels.set_dtype override would not survive the
+    # hop into a pool child); apply it for the whole shard run.
+    dtype = config.kernels_dtype or kernels.active_dtype()
     try:
-        with faults.injected(fault_plan):
-            detectors = DetectorRegistry.detectors_from_payload(detector_payload)
-            context_detectors = (
-                DetectorRegistry.contexts_from_payload(context_payload)
-                if context_payload is not None
-                else None
+        with kernels.use_dtype(dtype), faults.injected(fault_plan):
+            detectors, context_detectors = DetectorRegistry.from_fleet_payload(
+                fleet_payload
             )
             worker = ShardWorker(
                 detectors,
@@ -303,7 +318,14 @@ class FleetService:
         return ArtifactCache(self.config.cache_dir)
 
     def run(self) -> FleetReport:
-        config = self.config
+        # Resolve the fused-kernel dtype once, in the parent, so every
+        # shard child scores with the same dtype regardless of how it
+        # was selected (config field, set_dtype override, or the
+        # REPRO_KERNELS_DTYPE environment variable).
+        config = replace(
+            self.config,
+            kernels_dtype=self.config.kernels_dtype or kernels.active_dtype(),
+        )
         telemetry = (
             self.telemetry
             if self.telemetry is not None
@@ -325,13 +347,8 @@ class FleetService:
             registry = DetectorRegistry(
                 root_seed=config.seed, train=config.train, cache=self._cache()
             )
-            payload = registry.arrays_payload(spec.profile for spec in specs)
-            context_payload = (
-                registry.context_arrays_payload(
-                    spec.profile for spec in specs
-                )
-                if config.modality != "mhm"
-                else None
+            payload = registry.fleet_payload(
+                (spec.profile for spec in specs), modality=config.modality
             )
         if log.enabled:
             log.event(
@@ -349,7 +366,6 @@ class FleetService:
                 _run_shard(
                     0, specs, payload, config, self.fault_plan,
                     telemetry=telemetry, in_process=True,
-                    context_payload=context_payload,
                 )
             ]
         else:
@@ -358,7 +374,6 @@ class FleetService:
                     pool.submit(
                         _run_shard, shard, shard_specs[shard], payload,
                         config, self.fault_plan, telemetry, False,
-                        context_payload,
                     )
                     for shard in range(config.shards)
                 ]
@@ -376,6 +391,7 @@ class FleetService:
             device_reports=device_reports,
             block_stalls=block_stalls,
             kernels_backend=kernels.active_backend(),
+            kernels_dtype=config.kernels_dtype,
         )
         if log.enabled:
             log.event(

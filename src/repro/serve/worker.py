@@ -1,10 +1,11 @@
 """Shard workers: batched scoring of interleaved device streams.
 
 A :class:`ShardWorker` owns a subset of the fleet's devices and scores
-their interval records in cross-device batches through the PR-4
-vectorized kernels — one ``project_batch`` + ``log_density_batch``
-call amortises the GMM density over every record in the batch,
-regardless of which device produced it.
+their interval records in cross-device batches through the fused
+fleet-scoring kernel — one :func:`repro.kernels.fleet_score_batch`
+call per profile group chains projection, GMM density, context
+nearest-centroid scoring and phase-residual extraction over every
+record in the batch, regardless of which device produced it.
 
 **Fixed-shape batching.** BLAS matrix products are not row-separable:
 ``(A[:n] @ B)`` and ``(A @ B)[:n]`` can differ in the last ulp, and
@@ -64,6 +65,12 @@ def batched_log_densities(
     Rows are processed in zero-padded chunks of exactly ``pad_to``
     rows, so each row's score is bitwise independent of how many real
     records shared its kernel call.
+
+    This is the historical unfused chain, kept as the regression
+    oracle for the fused path: :class:`ShardWorker` now scores through
+    one :func:`repro.kernels.fleet_score_batch` call per profile
+    group, and ``tests/kernels/test_fused.py`` pins the fused float64
+    result bit-identical to this function.
     """
     matrix = np.ascontiguousarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
@@ -154,7 +161,6 @@ class ShardWorker:
             for profile, detector in detectors.items()
         }
         self.context_thetas: Dict[str, float] = {}
-        self._phase_means: Dict[str, np.ndarray] = {}
         if modality != "mhm":
             context_p = (
                 self.ensemble.p_context if modality == "ensemble" else p_percent
@@ -163,10 +169,10 @@ class ShardWorker:
                 profile: context.threshold(context_p)
                 for profile, context in self.context_detectors.items()
             }
-            self._phase_means = {
-                profile: context.phase_means_
-                for profile, context in self.context_detectors.items()
-            }
+        # One fused scorer per profile, built on first use: both
+        # modalities' fitted arrays bound once, scored in a single
+        # kernels.fleet_score_batch call per cross-device batch.
+        self._scorers: Dict[str, kernels.FleetScorer] = {}
         self.states: Dict[str, DeviceState] = {
             spec.device_id: DeviceState(spec=spec) for spec in specs
         }
@@ -188,6 +194,20 @@ class ShardWorker:
         ).labels(modality=modality)
         self._log = obs.logger()
         self._tracer = obs.tracer()
+
+    # ------------------------------------------------------------------
+    def scorer_for(self, profile: str) -> kernels.FleetScorer:
+        """The profile's fused scorer (memoised)."""
+        scorer = self._scorers.get(profile)
+        if scorer is None:
+            scorer = kernels.FleetScorer.from_detectors(
+                self.detectors[profile],
+                self.context_detectors.get(profile)
+                if self.modality != "mhm"
+                else None,
+            )
+            self._scorers[profile] = scorer
+        return scorer
 
     # ------------------------------------------------------------------
     def score_batch(self, records: Sequence[IntervalRecord]) -> None:
@@ -217,22 +237,28 @@ class ShardWorker:
         for record in live:
             by_profile.setdefault(record.profile, []).append(record)
         for profile, group in by_profile.items():
+            scorer = self.scorer_for(profile)
             matrix = np.stack([record.vector for record in group])
-            densities = batched_log_densities(
-                self.detectors[profile], matrix, pad_to=self.batch_pad
-            )
-            theta = self.thetas[profile]
-            context_scores: Optional[np.ndarray] = None
             if self.modality != "mhm":
-                # nearest_context_batch is row-separable (no BLAS), so
-                # scores need no fixed-shape padding to stay
+                # The context channels ride in the same fused call; the
+                # nearest-centroid stage is row-separable (no BLAS), so
+                # it needs no fixed-shape padding to stay
                 # batch-composition independent.
-                syscalls = np.stack([record.syscalls for record in group])
-                context_scores = self.context_detectors[profile].score_series(
-                    syscalls
+                scores = scorer.score(
+                    matrix,
+                    syscalls=np.stack([record.syscalls for record in group]),
+                    interval_indices=[
+                        record.interval_index for record in group
+                    ],
+                    pad_to=self.batch_pad,
                 )
+            else:
+                scores = scorer.score(matrix, pad_to=self.batch_pad)
+            theta = self.thetas[profile]
+            context_scores = scores.context_scores
+            residuals = scores.context_residuals
             for position, (record, log_density) in enumerate(
-                zip(group, densities)
+                zip(group, scores.log_densities)
             ):
                 state = self.states[record.device_id]
                 if not np.isfinite(log_density):
@@ -247,6 +273,9 @@ class ShardWorker:
                         float(context_scores[position])
                         if context_scores is not None
                         else None
+                    ),
+                    context_residual=(
+                        residuals[position] if residuals is not None else None
                     ),
                 )
 
@@ -303,18 +332,22 @@ class ShardWorker:
             self._verdict_telemetry(record, SKIPPED, reason=reason)
 
     def _context_flag(
-        self, state: DeviceState, record: IntervalRecord, score: float
+        self,
+        state: DeviceState,
+        record: IntervalRecord,
+        score: float,
+        residual: np.ndarray,
     ) -> bool:
         """Context-modality verdict: score channel OR drift channel.
 
         Advances the device's running phase-residual cumsum — called
-        exactly once per scored record, in interval order.
+        exactly once per scored record, in interval order.  The
+        ``residual`` row comes precomputed from the fused scoring call
+        (``syscalls − phase_means[interval % hyperperiod]``, the same
+        elementwise subtraction this method historically performed).
         """
         context = self.context_detectors[record.profile]
         state.context_scores.append(score)
-        counts = np.asarray(record.syscalls, dtype=np.float64)
-        phase = record.interval_index % context.hyperperiod
-        residual = counts - self._phase_means[record.profile][phase]
         if state.context_cumulative is None:
             state.context_cumulative = np.zeros_like(residual)
         state.context_cumulative += residual
@@ -335,13 +368,16 @@ class ShardWorker:
         log_density: float,
         theta: float,
         context_score: Optional[float],
+        context_residual: Optional[np.ndarray],
     ) -> bool:
         mhm_flag = log_density < theta
         if mhm_flag:
             self._metric_mhm_flags.inc()
         if self.modality == "mhm":
             return mhm_flag
-        context_flag = self._context_flag(state, record, context_score)
+        context_flag = self._context_flag(
+            state, record, context_score, context_residual
+        )
         if context_flag:
             self._metric_context_flags.inc()
         if self.modality == "contexts":
@@ -362,9 +398,10 @@ class ShardWorker:
         log_density: float,
         theta: float,
         context_score: Optional[float] = None,
+        context_residual: Optional[np.ndarray] = None,
     ) -> None:
         anomalous = self._fused_verdict(
-            state, record, log_density, theta, context_score
+            state, record, log_density, theta, context_score, context_residual
         )
         state.interval_indices.append(record.interval_index)
         state.log_densities.append(log_density)

@@ -43,12 +43,47 @@ print(json.dumps({
 """
 
 
-def _run_fresh_interpreter(hash_seed: str) -> dict:
+SERVE_SNIPPET = """
+import json
+import sys
+
+from repro.serve import FleetService, FleetTrainSpec, ServeConfig
+
+config = ServeConfig(
+    devices=4,
+    shards=2,
+    intervals=8,
+    seed=11,
+    attacked_devices=2,
+    train=FleetTrainSpec(
+        runs=1, intervals_per_run=40, validation_intervals=40, em_restarts=1
+    ),
+    cache_dir=sys.argv[1],
+)
+report = FleetService(config).run()
+print(json.dumps({
+    "fleet_digest": report.fleet_digest,
+    "kernels_dtype": report.kernels_dtype,
+    "verdicts": report.verdict_sequences,
+}))
+"""
+
+
+def _run_fresh_interpreter(
+    hash_seed: str,
+    snippet: str = SNIPPET,
+    argv: tuple = (),
+    dtype: str | None = None,
+) -> dict:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if dtype is None:
+        env.pop("REPRO_KERNELS_DTYPE", None)
+    else:
+        env["REPRO_KERNELS_DTYPE"] = dtype
     result = subprocess.run(
-        [sys.executable, "-c", SNIPPET],
+        [sys.executable, "-c", snippet, *argv],
         capture_output=True,
         text=True,
         env=env,
@@ -63,4 +98,21 @@ def test_fingerprints_and_matrix_digest_survive_interpreter_restart():
     first = _run_fresh_interpreter("0")
     second = _run_fresh_interpreter("20260808")
     assert first["matrix_conformant"] is True
+    assert first == second
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_fleet_digests_survive_interpreter_restart(tmp_path, dtype):
+    """A tiny sharded fleet, scored through the fused path under each
+    compute dtype, produces byte-identical digests across interpreters
+    with different hash seeds (the env var is the only way the dtype
+    reaches pool workers, so this also pins that plumbing)."""
+    cache = str(tmp_path / "cache")
+    first = _run_fresh_interpreter(
+        "0", snippet=SERVE_SNIPPET, argv=(cache,), dtype=dtype
+    )
+    second = _run_fresh_interpreter(
+        "20260808", snippet=SERVE_SNIPPET, argv=(cache,), dtype=dtype
+    )
+    assert first["kernels_dtype"] == dtype
     assert first == second

@@ -1,0 +1,87 @@
+"""Fused-path compute dtype at the serving layer.
+
+The float32 fast path must honour the same determinism contract as
+float64: the dtype is resolved once in the parent, shipped to every
+shard, and the resulting fleet reports stay bit-identical across shard
+counts under either dtype and either modality.  ``kernels_dtype=None``
+(the default) must mean exactly ``"float64"`` — the shipped-digest
+path — so enabling the plumbing cannot move a single digest.
+"""
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro import kernels
+from repro.serve import FleetService
+
+pytestmark = [pytest.mark.contexts]
+
+
+def _run(config, **overrides):
+    return FleetService(dataclasses.replace(config, **overrides)).run()
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_dtype(self, base_config):
+        with pytest.raises(ValueError, match="float16"):
+            dataclasses.replace(base_config, kernels_dtype="float16")
+
+    def test_accepts_both_dtypes_and_none(self, base_config):
+        for dtype in (None,) + kernels.DTYPES:
+            config = dataclasses.replace(base_config, kernels_dtype=dtype)
+            assert config.kernels_dtype == dtype
+
+
+class TestReportPlumbing:
+    def test_default_resolves_to_float64(self, base_config):
+        report = _run(base_config)
+        assert report.kernels_dtype == "float64"
+
+    def test_report_carries_float32(self, base_config):
+        report = _run(base_config, kernels_dtype="float32")
+        assert report.kernels_dtype == "float32"
+
+    def test_none_is_exactly_float64(self, base_config):
+        """Adding the dtype plumbing must not move a single digest."""
+        implicit = _run(base_config)
+        explicit = _run(base_config, kernels_dtype="float64")
+        assert implicit.fleet_digest == explicit.fleet_digest
+        assert implicit.canonical_dict() == explicit.canonical_dict()
+
+    def test_float32_digests_differ_from_float64(self, base_config):
+        """The fast path really computes in float32 (different bits)."""
+        f64 = _run(base_config)
+        f32 = _run(base_config, kernels_dtype="float32")
+        assert f64.fleet_digest != f32.fleet_digest
+
+
+class TestShardInvarianceUnderDtype:
+    """serial ≡ 2 ≡ 4 shards, for every (dtype, modality) pair."""
+
+    @pytest.mark.parametrize(
+        "dtype,modality",
+        list(itertools.product(kernels.DTYPES, ("mhm", "ensemble"))),
+    )
+    def test_canonical_reports_bit_identical(
+        self, base_config, dtype, modality
+    ):
+        intervals = 24 if modality == "ensemble" else 8
+        serial = _run(
+            base_config,
+            kernels_dtype=dtype,
+            modality=modality,
+            intervals=intervals,
+        )
+        for shards in (2, 4):
+            sharded = _run(
+                base_config,
+                kernels_dtype=dtype,
+                modality=modality,
+                intervals=intervals,
+                shards=shards,
+            )
+            assert sharded.fleet_digest == serial.fleet_digest
+            assert sharded.canonical_dict() == serial.canonical_dict()
+            assert sharded.kernels_dtype == dtype
