@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-fast test-faults test-contexts bench bench-smoke bench-kernels check report examples clean
+.PHONY: install test test-fast test-faults test-contexts test-bus bench bench-smoke bench-kernels check report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,7 +13,8 @@ test:
 # (CI installs it; see .github/workflows/ci.yml) test-fast collects
 # line coverage and enforces the floors in tools/check_coverage.py
 # (>=85% on src/repro/serve/, src/repro/attacks/ and
-# src/repro/conformance/, never below tools/coverage_baseline.json
+# src/repro/conformance/, per-module floors on serve/bus.py and
+# serve/recalibrate.py, never below tools/coverage_baseline.json
 # for the rest).  Without pytest-cov the suite runs uninstrumented.
 COVFLAGS := $(shell $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1 \
     && echo "--cov=src/repro --cov-report=html:htmlcov --cov-report=json:coverage.json")
@@ -52,6 +53,16 @@ test-faults:
 # since the marker filter overrides the slow exclusion here).
 test-contexts:
 	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m contexts -W "error:::repro"
+
+# The event-bus control-plane suite alone: bus unit tests, the
+# hypothesis scheduling properties, the chaos campaigns against the
+# bus fault sites, the lockstep ≡ async conformance oracle and the
+# recalibration state machine — everything marked @pytest.mark.bus.
+# Deterministic by construction: no wall-clock sleeps anywhere in the
+# suite (interleavings come from seeded SchedulingJitter, time from
+# the simulator clock), so it is safe at any parallelism.
+test-bus:
+	$(PYTHON) -m pytest tests/ -p no:cacheprovider -q -m bus -W "error:::repro"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

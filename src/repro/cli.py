@@ -75,6 +75,10 @@ Exit codes (stable; scripts may rely on them):
   × detector combination whose observed outcome differs from the
   outcome the attack class declares.  The matrix JSON is still
   written/printed so the divergence can be inspected.
+* ``8`` — ``serve --executor async`` aborted on a **bus stall**: a
+  block-policy publish waited longer than ``--stall-timeout`` on a
+  subscriber that stopped draining its queue (a deadlocked or wedged
+  consumer, as opposed to a merely slow one, which would only stall).
 
 The single source of truth for these values is the :class:`ExitCode`
 enum below; the ``EXIT_*`` module constants are aliases kept for
@@ -119,7 +123,9 @@ from .serve import (
     TelemetryConfig,
     write_health,
 )
-from .serve.router import POLICIES as _POLICIES
+from .serve import BusStallError, RecalibrationPolicy
+from .serve.bus import BUS_POLICIES as _BUS_POLICIES
+from .serve.service import EXECUTORS as _EXECUTORS
 from .sim.platform import Platform, PlatformConfig
 from .viz.ascii import render_heatmap, render_series
 from .viz.tables import format_metrics, format_table
@@ -163,6 +169,9 @@ class ExitCode(enum.IntEnum):
     SERVE_DEGRADED = 6
     #: matrix: an observed cell outcome diverged from its declaration.
     MATRIX_DIVERGENCE = 7
+    #: serve (async executor): a block-policy publish timed out on a
+    #: subscriber that stopped draining (BusStallError).
+    BUS_STALL = 8
 
 
 # Backwards-compatible aliases (public API since PR 1).
@@ -443,9 +452,43 @@ def build_parser() -> argparse.ArgumentParser:
         "SeedSequence.spawn, so results are shard-count independent",
     )
     serve.add_argument(
-        "--policy", choices=_POLICIES, default="block",
+        "--policy", choices=_BUS_POLICIES, default="block",
         help="backpressure policy when a shard queue is full "
-        "(default block: producers stall, nothing is dropped)",
+        "(default block: producers stall, nothing is dropped; "
+        "shed needs --executor async)",
+    )
+    serve.add_argument(
+        "--executor", choices=_EXECUTORS, default="lockstep",
+        help="shard executor: lockstep (serial reference loop) or "
+        "async (event-bus data plane; bit-identical digests)",
+    )
+    serve.add_argument(
+        "--cadences", metavar="C1,C2,...",
+        help="heterogeneous device cadences (async executor): device i "
+        "emits every Ci fleet steps, cycled over the list "
+        "(default: every device every step)",
+    )
+    serve.add_argument(
+        "--recalibrate", action="store_true",
+        help="apply drift-suggested thresholds through the "
+        "proposal -> canary trial -> commit state machine "
+        "(async executor)",
+    )
+    serve.add_argument(
+        "--canary-intervals", type=int, default=24, metavar="N",
+        help="shadow-trial length per recalibration proposal, in the "
+        "device's scored records (default 24)",
+    )
+    serve.add_argument(
+        "--stall-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="async executor: abort with exit code 8 when a "
+        "block-policy publish waits longer than this on a stuck "
+        "subscriber (default 30; 0 disables)",
+    )
+    serve.add_argument(
+        "--failures-out", metavar="PATH",
+        help="write poisoned-subscriber failure records (JSON) here "
+        "after an async run",
     )
     serve.add_argument(
         "--capacity", type=int, default=128,
@@ -1292,6 +1335,17 @@ def _cmd_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return ExitCode.USAGE
     profiles = tuple(p for p in args.profiles.split(",") if p)
+    cadences = None
+    if args.cadences:
+        try:
+            cadences = tuple(int(c) for c in args.cadences.split(",") if c)
+        except ValueError:
+            print(
+                f"error: --cadences must be a comma-separated list of "
+                f"integers, got {args.cadences!r}",
+                file=sys.stderr,
+            )
+            return ExitCode.USAGE
     try:
         config = ServeConfig(
             devices=args.devices,
@@ -1321,6 +1375,13 @@ def _cmd_serve(args) -> int:
                 mhm_share=args.mhm_share,
                 rule=args.ensemble_rule,
             ),
+            executor=args.executor,
+            cadences=cadences,
+            recalibration=RecalibrationPolicy(
+                enabled=args.recalibrate,
+                canary_intervals=args.canary_intervals,
+            ),
+            stall_timeout=args.stall_timeout or None,
         )
         telemetry = TelemetryConfig.from_current(
             metrics_dir=args.metrics_dir,
@@ -1330,11 +1391,25 @@ def _cmd_serve(args) -> int:
             config, fault_plan=fault_plan, telemetry=telemetry
         )
         report = service.run()
+    except BusStallError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return ExitCode.BUS_STALL
     except (ValueError, KeyError) as exc:
         # KeyError: a budget split landing outside the calibrated
         # threshold banks (the detectors calibrate θ at fixed quantiles).
         print(f"error: {exc}", file=sys.stderr)
         return ExitCode.USAGE
+    if args.failures_out:
+        failures = (report.bus or {}).get("failures", [])
+        with open(args.failures_out, "w") as handle:
+            json.dump(failures, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if failures:
+            print(
+                f"warning: {len(failures)} poisoned subscriber(s) "
+                f"-> {args.failures_out}",
+                file=sys.stderr,
+            )
     if args.report_out:
         report.write(args.report_out)
     if args.health_out:

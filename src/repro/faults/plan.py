@@ -48,6 +48,9 @@ KNOWN_SITES = frozenset(
         "stages.replay",  # scenario simulation compute (cache miss path)
         "monitor.verdict",  # OnlineMonitor per-interval scoring
         "serve.score",  # ShardWorker per-record scoring (fleet service)
+        "bus.publish",  # EventBus.publish, before fan-out (retried once)
+        "bus.deliver",  # per queued subscription enqueue (retried once)
+        "subscriber.handle",  # subscriber callback (poisons on fire)
     }
 )
 

@@ -338,6 +338,43 @@ register_event(
     "a health/readiness summary was produced",
 )
 register_event(
+    "serve.recalibrate.proposed", "serve",
+    ("threshold", "interval"),
+    "a drift-suggested threshold entered a canary trial",
+)
+register_event(
+    "serve.recalibrate.committed", "serve",
+    ("threshold", "interval", "shadow_flags"),
+    "a canary trial passed; the device's threshold was hot-swapped",
+)
+register_event(
+    "serve.recalibrate.rejected", "serve",
+    ("threshold", "interval", "shadow_flags"),
+    "a canary trial over-flagged in shadow; the proposal was dropped",
+)
+register_event(
+    "bus.publish.lost", "bus",
+    ("topic", "key"),
+    "a bus.publish fault exhausted its retry; the event was lost",
+)
+register_event(
+    "bus.deliver.lost", "bus",
+    ("topic", "key", "subscriber"),
+    "a bus.deliver fault exhausted its retry for one subscription",
+)
+register_event(
+    "bus.stall", "bus",
+    ("subscriber", "topic", "depth", "timeout_s"),
+    "a block-policy publish timed out on a subscriber that stopped "
+    "draining (the run aborts with BusStallError)",
+)
+register_event(
+    "bus.subscriber.poisoned", "bus",
+    ("subscriber", "topic", "error"),
+    "a subscriber callback crashed; it was detached and recorded in "
+    "the failures manifest (run degrades, no deadlock)",
+)
+register_event(
     "runner.grid.start", "runner",
     ("jobs", "workers"),
     "the experiment runner starts a grid",

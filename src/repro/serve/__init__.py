@@ -11,31 +11,55 @@ Layers (see ``docs/serving.md``):
 * :class:`~repro.serve.registry.DetectorRegistry` — profile → trained
   detector, through the artifact cache;
 * :class:`~repro.serve.router.StreamRouter` — bounded queues, block /
-  drop-oldest backpressure, ``serve.*`` obs counters;
+  drop-oldest backpressure, ``serve.*`` obs counters (the lockstep
+  reference executor's data plane);
+* :class:`~repro.serve.bus.EventBus` — the asyncio pub/sub control
+  plane (``--executor async``): ingestion, scoring, drift/
+  recalibration and reporting as independent subscribers with
+  per-subscriber backpressure (block / drop-oldest / shed);
 * :class:`~repro.serve.worker.ShardWorker` — fixed-shape cross-device
   batch scoring with per-record SKIPPED degradation;
 * :class:`~repro.serve.drift.DriftMonitor` — per-device score
   quantiles, θ_p recalibration proposals;
+* :class:`~repro.serve.recalibrate.RecalibrationController` — applied
+  hot detector swap: proposal → canary trial → per-device threshold
+  commit;
 * :class:`~repro.serve.service.FleetService` — the orchestrator
   behind ``repro serve``; emits a deterministic
   :class:`~repro.serve.report.FleetReport` that is bit-identical
-  across shard counts.
+  across shard counts *and* executors.
 """
 
+from .bus import (
+    BUS_POLICIES,
+    BusStallError,
+    Event,
+    EventBus,
+    SchedulingJitter,
+    Subscription,
+)
 from .drift import DriftMonitor, DriftPolicy, DriftStatus
 from .health import health_summary, write_health
+from .recalibrate import RecalibrationController, RecalibrationPolicy
 from .registry import DetectorRegistry, FleetTrainSpec
 from .report import DeviceReport, FleetReport, device_digest
 from .router import POLICIES, StreamRouter
 from .service import (
+    EXECUTORS,
     SERVE_TRACE_CATEGORIES,
     FleetService,
     ServeConfig,
     TelemetryConfig,
 )
-from .worker import ShardWorker, batched_log_densities
+from .worker import ScoredInterval, ShardWorker, batched_log_densities
 
 __all__ = [
+    "BUS_POLICIES",
+    "BusStallError",
+    "Event",
+    "EventBus",
+    "SchedulingJitter",
+    "Subscription",
     "DriftMonitor",
     "DriftPolicy",
     "DriftStatus",
@@ -45,11 +69,15 @@ __all__ = [
     "FleetReport",
     "device_digest",
     "POLICIES",
+    "EXECUTORS",
     "StreamRouter",
     "FleetService",
     "ServeConfig",
     "TelemetryConfig",
     "SERVE_TRACE_CATEGORIES",
+    "RecalibrationController",
+    "RecalibrationPolicy",
+    "ScoredInterval",
     "ShardWorker",
     "batched_log_densities",
     "health_summary",

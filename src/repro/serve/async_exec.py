@@ -1,0 +1,247 @@
+"""The event-bus shard executor: `repro serve --executor async`.
+
+One shard, one event loop, one :class:`~repro.serve.bus.EventBus`.
+The lockstep executor's welded call chain (simulator → router →
+worker) becomes four independent parties wired by topics:
+
+* **ingestion** — pulls each device's :class:`DeviceStream` on its own
+  cadence and publishes ``interval.observed``.  Yields to the loop
+  once per fleet step, so scoring drains in the same step rhythm the
+  lockstep path ticks in;
+* **scoring** — a *queued* subscriber draining ``interval.observed``
+  in batches of ``batch_size`` through the unchanged
+  :meth:`ShardWorker.score_batch` (same fixed-shape padded kernels,
+  same digests).  Its queue carries the configured backpressure policy
+  (block / drop-oldest / shed);
+* **drift + recalibration** — a *direct* subscriber on
+  ``interval.scored``: the controller runs synchronously inside the
+  scoring callback, so a canary commit swaps the threshold before the
+  device's next record is judged — at the same per-record point on
+  every shard count, which is what keeps recalibrated runs
+  bit-identical across shards;
+* **reporting** — a queued ``shed``-policy subscriber tallying a
+  streaming summary from ``interval.scored`` / ``device.alarm``; under
+  pressure it sacrifices its own freshness, never the data plane.
+
+Accounting invariant: every record the simulator emits lands in
+exactly one of *scored*, *skipped* or *dropped* — publish-loss and
+deliver-loss faults route the casualty to
+:meth:`ShardWorker.record_dropped` just like a router eviction, so
+``emitted == scored + skipped + dropped`` holds under bus faults too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from math import ceil
+from typing import Optional, Sequence, Tuple
+
+from .. import faults, obs
+from ..sim.fleet import DeviceSpec, DeviceStream
+from .bus import EventBus, SchedulingJitter, run_subscriber
+from .recalibrate import RecalibrationController
+from .worker import OK, ScoredInterval, ShardWorker
+
+__all__ = [
+    "cadence_for",
+    "scale_spec_for_cadence",
+    "emitted_for_cadence",
+    "run_shard_async",
+]
+
+
+def cadence_for(spec_index: int, cadences) -> int:
+    """The fleet-step cadence assigned to device ``spec_index``."""
+    if not cadences:
+        return 1
+    return int(cadences[spec_index % len(cadences)])
+
+
+def emitted_for_cadence(intervals: int, cadence: int) -> int:
+    """Records a device emits over ``intervals`` fleet steps: it ticks
+    on steps 1, 1+c, 1+2c, … → ⌈intervals / c⌉."""
+    return ceil(intervals / cadence)
+
+
+def scale_spec_for_cadence(spec: DeviceSpec, cadence: int, intervals: int) -> DeviceSpec:
+    """Rescale a spec's attack schedule into its cadence's ordinal space.
+
+    ``build_fleet_specs`` places injection/revert in *fleet-step*
+    ordinals (cadence 1).  A device ticking every ``cadence`` steps
+    emits ⌈intervals/c⌉ records, and its stream schedules the attack by
+    emitted ordinal — so the schedule divides down, keeping the attack
+    at the same fraction of the device's (shorter) stream.
+    """
+    if cadence == 1 or spec.inject_interval is None:
+        return spec
+    emitted = emitted_for_cadence(intervals, cadence)
+    inject = min(max(1, spec.inject_interval // cadence), emitted - 1)
+    revert = spec.revert_interval
+    if revert is not None:
+        revert = max(revert // cadence, inject + 1)
+        if revert >= emitted - 1:
+            revert = None  # too short a tail to revert inside: one-way
+    return replace(spec, inject_interval=inject, revert_interval=revert)
+
+
+async def run_shard_async(
+    shard_index: int,
+    specs: Sequence[DeviceSpec],
+    worker: ShardWorker,
+    config,
+    writer=None,
+    jitter: Optional[SchedulingJitter] = None,
+) -> Tuple[dict, int]:
+    """Run one shard's full stream on the event bus.
+
+    Returns ``(stats, sim_time_ns)``; per-device results accumulate in
+    ``worker`` exactly as under lockstep.  ``config`` is a
+    :class:`~repro.serve.service.ServeConfig` (duck-typed to avoid the
+    import cycle).
+    """
+    bus = EventBus(
+        stall_timeout=config.stall_timeout, jitter=jitter, shard=shard_index
+    )
+    metric_emitted = obs.metrics().counter("serve.intervals_emitted")
+
+    # -- data plane ----------------------------------------------------
+    scoring_sub = bus.subscribe(
+        "scoring",
+        "interval.observed",
+        capacity=config.queue_capacity,
+        policy=config.policy,
+        on_drop=lambda event: worker.record_dropped(event.payload),
+    )
+    summary = {"scored": 0, "flagged": 0, "alarms": 0}
+    reporting_sub = bus.subscribe(
+        "reporting",
+        ("interval.scored", "device.alarm"),
+        capacity=max(config.queue_capacity, 1024),
+        policy="shed",
+    )
+
+    # -- control plane (direct: deterministic per-record dispatch) -----
+    controller = None
+    if config.recalibration.enabled:
+        controller = RecalibrationController(
+            config.recalibration, worker, bus=bus, shard=shard_index
+        )
+        bus.subscribe(
+            "recalibrate",
+            "interval.scored",
+            mode="direct",
+            handler=lambda event: controller.on_scored(event.payload),
+        )
+
+    # A record lost at publish never reached scoring; charge it to its
+    # device so the emitted == scored + skipped + dropped ledger holds.
+    def on_publish_lost(topic: str, payload, key: str) -> None:
+        if topic == "interval.observed":
+            worker.record_dropped(payload)
+
+    bus.on_publish_lost = on_publish_lost
+
+    # Scored records flow back onto the bus synchronously, from inside
+    # score_batch — a direct recalibration commit therefore lands
+    # before the device's next record, even mid-batch.
+    def on_scored(scored: ScoredInterval) -> None:
+        key = f"{scored.device_id}@{scored.interval_index}"
+        publisher = f"worker-{shard_index}"
+        bus.publish_sync("interval.scored", scored, publisher=publisher, key=key)
+        if scored.alarm:
+            bus.publish_sync("device.alarm", scored, publisher=publisher, key=key)
+
+    worker.on_scored = on_scored
+
+    # -- tasks ---------------------------------------------------------
+    submitted = 0
+
+    async def ingest() -> int:
+        nonlocal submitted
+        streams = [DeviceStream(spec) for spec in specs]
+        sim_time_ns = 0
+        publisher = f"ingest-{shard_index}"
+        for step in range(1, config.intervals + 1):
+            for stream in streams:
+                cadence = cadence_for(stream.spec.index, config.cadences)
+                if (step - 1) % cadence:
+                    continue
+                record = stream.next_interval()
+                sim_time_ns = record.time_ns
+                submitted += 1
+                metric_emitted.inc()
+                await bus.publish(
+                    "interval.observed",
+                    record,
+                    publisher=publisher,
+                    key=f"{record.device_id}@{record.interval_index}",
+                )
+            if writer is not None:
+                writer.maybe_write(step, sim_time_ns)
+            # Step barrier: hand the loop to the scoring task so queues
+            # drain in the same step rhythm the lockstep executor ticks
+            # in (and drop-oldest/shed measure real per-step pressure).
+            await asyncio.sleep(0)
+        return sim_time_ns
+
+    async def score() -> None:
+        while True:
+            batch = await scoring_sub.get_batch(config.batch_size)
+            if batch is None:
+                return
+            if jitter is not None:
+                await jitter.point("score")
+            records = [event.payload for event in batch]
+            first = records[0]
+            try:
+                faults.check(
+                    "subscriber.handle",
+                    token=(
+                        f"scoring:{first.device_id}@{first.interval_index}"
+                    ),
+                )
+                worker.score_batch(records)
+            except Exception as exc:
+                bus.poison(scoring_sub, batch[0], exc)
+                return
+
+    def handle_report(event) -> None:
+        if event.topic == "interval.scored":
+            summary["scored"] += 1
+            if event.payload.flag != OK:
+                summary["flagged"] += 1
+        else:
+            summary["alarms"] += 1
+
+    score_task = asyncio.ensure_future(score())
+    report_task = asyncio.ensure_future(
+        run_subscriber(bus, reporting_sub, handle_report, jitter=jitter)
+    )
+    try:
+        sim_time_ns = await ingest()
+        # Shutdown cascade: stop deliveries to scoring, let it drain its
+        # backlog, then let reporting drain what scoring just published.
+        scoring_sub.close()
+        await score_task
+        reporting_sub.close()
+        await report_task
+    finally:
+        for task in (score_task, report_task):
+            if not task.done():
+                task.cancel()
+        bus.close()
+        worker.on_scored = None
+
+    bus_stats = bus.stats()
+    bus_stats["reporting"] = dict(summary)
+    bus_stats["failures"] = list(bus.failures)
+    if controller is not None:
+        bus_stats["recalibration"] = controller.stats()
+    stats = {
+        "submitted": submitted,
+        "dropped": sum(s.dropped for s in worker.states.values()),
+        "block_stalls": scoring_sub.block_waits,
+        "bus": bus_stats,
+    }
+    return stats, sim_time_ns

@@ -91,6 +91,11 @@ class DriftMonitor:
         window = self._windows.get(device_id)
         return 0 if window is None else len(window)
 
+    def reset(self, device_id: str) -> None:
+        """Forget a device's window (recalibration commit): the next
+        drift verdict is earned entirely on post-commit scores."""
+        self._windows.pop(device_id, None)
+
     def status(
         self, device_id: str, theta: float, p_percent: float
     ) -> DriftStatus:

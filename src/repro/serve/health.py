@@ -24,6 +24,7 @@ true.
 from __future__ import annotations
 
 import json
+from math import ceil
 from pathlib import Path
 from typing import List
 
@@ -41,7 +42,12 @@ def _check(name: str, ok: bool, detail: str, critical: bool = True) -> dict:
 
 def health_summary(report: FleetReport) -> dict:
     """A readiness summary derived from a fleet report."""
-    expected = report.devices * report.intervals
+    # Cadence-aware expectation: a device ticking every c fleet steps
+    # emits ⌈intervals / c⌉ records (always intervals when c == 1).
+    expected = sum(
+        ceil(report.intervals / max(1, entry.cadence))
+        for entry in report.device_reports
+    )
     checks: List[dict] = [
         _check(
             "complete",
@@ -66,6 +72,18 @@ def health_summary(report: FleetReport) -> dict:
             critical=False,
         ),
     ]
+    if report.bus is not None:
+        poisoned = report.bus.get("subscribers_poisoned", 0)
+        lost = report.bus.get("publish_lost", 0) + report.bus.get(
+            "deliver_faults", 0
+        )
+        checks.append(
+            _check(
+                "bus",
+                poisoned == 0 and lost == 0,
+                f"subscribers_poisoned={poisoned} events_lost={lost}",
+            )
+        )
     ready = all(c["ok"] for c in checks if c["critical"])
     degraded = any(not c["ok"] for c in checks)
     status = "degraded" if degraded else "ready"

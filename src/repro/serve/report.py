@@ -91,6 +91,17 @@ class DeviceReport:
     context_flagged: int = 0
     context_drift_max: Optional[float] = None
     context_drift_exceeded: bool = False
+    # Event-bus executor accounting (defaults keep earlier payloads
+    # loadable and make lockstep ≡ async canonical dicts comparable:
+    # every field below is seed-determined, not scheduling-determined).
+    #: Fleet steps between this device's intervals (async executor's
+    #: heterogeneous cadences; always 1 under lockstep).
+    cadence: int = 1
+    #: A drift-proposed threshold passed its canary trial and was
+    #: hot-swapped in during the run.
+    recalibrated: bool = False
+    recalibrated_threshold: Optional[float] = None
+    recalibrated_at_interval: Optional[int] = None
 
     @property
     def false_positive_rate(self) -> Optional[float]:
@@ -135,6 +146,17 @@ class FleetReport:
     #: default keeps schema-1 payloads written before the fast path
     #: existed loadable (they could only have scored in float64).
     kernels_dtype: str = "float64"
+    #: Which executor ran the shards: "lockstep" (the serial reference)
+    #: or "async" (the event-bus data plane).  Scheduling metadata —
+    #: the conformance contract is that it never changes the verdicts.
+    executor: str = "lockstep"
+    #: Devices whose threshold was hot-swapped by a recalibration
+    #: commit (seed-determined, so it survives into the canonical view).
+    devices_recalibrated: int = 0
+    #: Event-bus accounting (publish/deliver/drop/shed counters, the
+    #: poisoned-subscriber failure records, recalibration totals).
+    #: ``None`` under the lockstep executor.
+    bus: Optional[dict] = None
     device_reports: List[DeviceReport] = field(default_factory=list)
 
     @classmethod
@@ -146,6 +168,7 @@ class FleetReport:
         block_stalls: int,
         kernels_backend: str,
         kernels_dtype: str = "float64",
+        bus: Optional[dict] = None,
     ) -> "FleetReport":
         reports = sorted(device_reports, key=lambda r: r.device_index)
         fleet = hashlib.sha256()
@@ -176,6 +199,9 @@ class FleetReport:
             fleet_digest=fleet.hexdigest(),
             modality=getattr(config, "modality", "mhm"),
             kernels_dtype=kernels_dtype,
+            executor=getattr(config, "executor", "lockstep"),
+            devices_recalibrated=sum(1 for r in reports if r.recalibrated),
+            bus=bus,
             device_reports=reports,
         )
 
@@ -213,16 +239,20 @@ class FleetReport:
         """The shard-count-invariant view of the report.
 
         Everything seed-determined is kept; the only fields removed are
-        the scheduling metadata that *names* the partitioning — the
-        shard count and each device's shard assignment — and the
-        ``block_stalls`` counter, which measures shard-local queue
-        pressure.  ``repro serve --shards 1`` and ``--shards 4`` on the
-        same seed produce equal canonical dicts (the serve determinism
-        suite asserts this, digests included).
+        the scheduling metadata that *names* the run's execution — the
+        shard count, each device's shard assignment, which executor ran
+        it, the ``block_stalls`` counter (shard-local queue pressure)
+        and the ``bus`` accounting block (per-run scheduling detail).
+        ``repro serve --shards 1`` and ``--shards 4`` on the same seed
+        produce equal canonical dicts, and so do ``--executor
+        lockstep`` and ``--executor async`` — the bus-conformance suite
+        asserts both, digests included.
         """
         payload = self.to_dict()
         payload.pop("shards")
         payload.pop("block_stalls")
+        payload.pop("executor")
+        payload.pop("bus")
         for entry in payload["device_reports"]:
             entry.pop("shard")
         return payload

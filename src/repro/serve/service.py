@@ -27,6 +27,7 @@ the scores of whatever was scored still match.)
 
 from __future__ import annotations
 
+import asyncio
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -39,13 +40,20 @@ from ..obs.snapshots import SnapshotWriter
 from ..pipeline.cache import ArtifactCache
 from ..pipeline.stages import SCENARIOS
 from ..sim.fleet import FleetSimulator, build_fleet_specs
+from .async_exec import cadence_for, run_shard_async, scale_spec_for_cadence
+from .bus import BUS_POLICIES
 from .drift import DriftMonitor, DriftPolicy
+from .recalibrate import RecalibrationPolicy
 from .registry import DetectorRegistry, FleetTrainSpec
 from .report import DeviceReport, FleetReport
 from .router import POLICIES, StreamRouter
 from .worker import MODALITIES, ShardWorker
 
-__all__ = ["ServeConfig", "TelemetryConfig", "FleetService"]
+__all__ = ["EXECUTORS", "ServeConfig", "TelemetryConfig", "FleetService"]
+
+#: Shard executors: the serial reference loop and the event-bus data
+#: plane.  The bus-conformance suite pins them bit-identical.
+EXECUTORS = ("lockstep", "async")
 
 #: Trace categories the fleet service keeps by default: fleet-layer
 #: events only.  The platform simulator's per-tick events would put a
@@ -129,6 +137,22 @@ class ServeConfig:
     #: programmatic dtype overrides don't cross process-pool
     #: boundaries (only environment variables do).
     kernels_dtype: Optional[str] = None
+    #: Shard executor: "lockstep" (the serial reference) or "async"
+    #: (the event-bus data plane; same digests, by contract).
+    executor: str = "lockstep"
+    #: Heterogeneous device cadences (async executor only): device *i*
+    #: emits every ``cadences[i % len(cadences)]`` fleet steps.  ``None``
+    #: means every device ticks every step, matching lockstep.
+    cadences: Optional[Tuple[int, ...]] = None
+    #: Applied hot detector swap (async executor only): drift proposals
+    #: flow through a canary trial and commit per-device thresholds.
+    recalibration: RecalibrationPolicy = field(
+        default_factory=RecalibrationPolicy
+    )
+    #: Wall-clock seconds a block-policy publish may wait on a stuck
+    #: subscriber before the run aborts with a BusStallError (exit
+    #: code 8 from the CLI).  ``None`` disables the watchdog.
+    stall_timeout: Optional[float] = 30.0
 
     def __post_init__(self) -> None:
         if self.modality not in MODALITIES:
@@ -150,11 +174,43 @@ class ServeConfig:
             raise ValueError("shards must be in [1, devices]")
         if self.intervals < 1:
             raise ValueError("intervals must be >= 1")
-        if self.policy not in POLICIES:
+        if self.executor not in EXECUTORS:
             raise ValueError(
-                f"unknown backpressure policy {self.policy!r}; "
-                f"choose from {POLICIES}"
+                f"unknown executor {self.executor!r}; "
+                f"choose from {EXECUTORS}"
             )
+        if self.executor == "lockstep":
+            if self.policy not in POLICIES:
+                raise ValueError(
+                    f"unknown backpressure policy {self.policy!r}; "
+                    f"choose from {POLICIES}"
+                )
+            if self.cadences is not None:
+                raise ValueError(
+                    "heterogeneous cadences need executor='async'"
+                )
+            if self.recalibration.enabled:
+                raise ValueError(
+                    "threshold recalibration needs executor='async'"
+                )
+        else:
+            if self.policy not in BUS_POLICIES:
+                raise ValueError(
+                    f"unknown backpressure policy {self.policy!r}; "
+                    f"choose from {BUS_POLICIES}"
+                )
+            if self.drain_per_step is not None:
+                raise ValueError(
+                    "drain_per_step is a lockstep router throttle; "
+                    "not supported under executor='async'"
+                )
+        if self.cadences is not None:
+            if not self.cadences:
+                raise ValueError("cadences must be non-empty")
+            if any(int(c) < 1 for c in self.cadences):
+                raise ValueError("every cadence must be >= 1")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive (or None)")
         if self.consecutive_for_alarm < 1:
             raise ValueError("consecutive_for_alarm must be >= 1")
         if not 0 < self.p_percent < 100:
@@ -225,35 +281,45 @@ def _run_shard(
                 context_detectors=context_detectors,
                 ensemble=config.ensemble,
             )
-            router = StreamRouter(
-                worker,
-                batch_size=config.batch_size,
-                capacity=config.queue_capacity,
-                policy=config.policy,
-                drain_per_step=config.drain_per_step,
-                shard=shard_index,
-            )
-            simulator = FleetSimulator(specs)
-            sim_time_ns = 0
-            for step in range(1, config.intervals + 1):
-                for record in simulator.step():
-                    sim_time_ns = record.time_ns
-                    router.submit(record)
-                router.end_step()
-                if writer is not None:
-                    writer.maybe_write(step, sim_time_ns)
-            router.flush()
+            if config.executor == "async":
+                stats, sim_time_ns = asyncio.run(
+                    run_shard_async(
+                        shard_index, specs, worker, config, writer=writer
+                    )
+                )
+            else:
+                router = StreamRouter(
+                    worker,
+                    batch_size=config.batch_size,
+                    capacity=config.queue_capacity,
+                    policy=config.policy,
+                    drain_per_step=config.drain_per_step,
+                    shard=shard_index,
+                )
+                simulator = FleetSimulator(specs)
+                sim_time_ns = 0
+                for step in range(1, config.intervals + 1):
+                    for record in simulator.step():
+                        sim_time_ns = record.time_ns
+                        router.submit(record)
+                    router.end_step()
+                    if writer is not None:
+                        writer.maybe_write(step, sim_time_ns)
+                router.flush()
+                stats = {
+                    "submitted": router.submitted,
+                    "dropped": router.dropped,
+                    "block_stalls": router.block_stalls,
+                }
             reports = [
                 worker.device_report(
-                    spec, shard_index, keep_densities=config.keep_densities
+                    spec,
+                    shard_index,
+                    keep_densities=config.keep_densities,
+                    cadence=cadence_for(spec.index, config.cadences),
                 )
                 for spec in specs
             ]
-            stats = {
-                "submitted": router.submitted,
-                "dropped": router.dropped,
-                "block_stalls": router.block_stalls,
-            }
         if log.enabled:
             log.event(
                 "serve.shard.done",
@@ -343,6 +409,18 @@ class FleetService:
                 batch_size=config.batch_size,
             )
         specs = self.build_specs()
+        if config.cadences:
+            # A slower device emits fewer records; its attack schedule
+            # divides down with it so injection stays at the same
+            # fraction of the (shorter) stream.
+            specs = [
+                scale_spec_for_cadence(
+                    spec,
+                    cadence_for(spec.index, config.cadences),
+                    config.intervals,
+                )
+                for spec in specs
+            ]
         with faults.injected(self.fault_plan):
             registry = DetectorRegistry(
                 root_seed=config.seed, train=config.train, cache=self._cache()
@@ -380,11 +458,14 @@ class FleetService:
                 results = [future.result() for future in futures]
         device_reports: List[DeviceReport] = []
         block_stalls = 0
+        bus_totals: Optional[dict] = None
         # Merge in shard order — deterministic, so merged telemetry
         # (trace event order, log replay order) is reproducible too.
         for reports, stats, shard_telemetry in results:
             device_reports.extend(reports)
             block_stalls += stats["block_stalls"]
+            if stats.get("bus") is not None:
+                bus_totals = self._merge_bus(bus_totals, stats["bus"])
             self._merge_telemetry(shard_telemetry)
         report = FleetReport.build(
             config=config,
@@ -392,6 +473,7 @@ class FleetService:
             block_stalls=block_stalls,
             kernels_backend=kernels.active_backend(),
             kernels_dtype=config.kernels_dtype,
+            bus=bus_totals,
         )
         if log.enabled:
             log.event(
@@ -403,6 +485,28 @@ class FleetService:
                 fleet_digest=report.fleet_digest,
             )
         return report
+
+    @staticmethod
+    def _merge_bus(totals: Optional[dict], shard_bus: dict) -> dict:
+        """Fold one shard's bus accounting into the fleet totals.
+
+        Counters sum, nested counter dicts (``reporting``,
+        ``recalibration``) sum per key, the ``failures`` records
+        concatenate — shard order, so the merged manifest is
+        deterministic.
+        """
+        if totals is None:
+            totals = {}
+        for key, value in shard_bus.items():
+            if isinstance(value, dict):
+                nested = totals.setdefault(key, {})
+                for inner, count in value.items():
+                    nested[inner] = nested.get(inner, 0) + count
+            elif isinstance(value, list):
+                totals.setdefault(key, []).extend(value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @staticmethod
     def _merge_telemetry(shard_payload: Optional[dict]) -> None:

@@ -29,7 +29,7 @@ verdict to SKIPPED and the stream continues.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +46,7 @@ __all__ = [
     "MODALITIES",
     "batched_log_densities",
     "DeviceState",
+    "ScoredInterval",
     "ShardWorker",
 ]
 
@@ -89,6 +90,28 @@ def batched_log_densities(
         )
         out[start : start + n] = densities[:n]
     return out
+
+
+@dataclass(frozen=True)
+class ScoredInterval:
+    """One scored record's outcome, as handed to ``on_scored``.
+
+    The event-bus executor publishes this on ``interval.scored`` after
+    every scored (not skipped, not dropped) record — the control
+    plane's entire view of the data plane.  ``theta`` is the threshold
+    the verdict was actually judged against (the per-device override
+    when one is committed, the profile θ_p otherwise).
+    """
+
+    device_id: str
+    profile: str
+    interval_index: int
+    log_density: float
+    theta: float
+    flag: str  # OK / ANOMALOUS
+    alarm: bool  # this record completed an alarm streak
+    truth: bool
+    time_ns: int = 0
 
 
 @dataclass
@@ -173,6 +196,15 @@ class ShardWorker:
         # modalities' fitted arrays bound once, scored in a single
         # kernels.fleet_score_batch call per cross-device batch.
         self._scorers: Dict[str, kernels.FleetScorer] = {}
+        # Hot-swapped per-device thresholds (recalibration commits) and
+        # their provenance.  Empty under the lockstep executor, so the
+        # per-record override lookup cannot perturb historical digests.
+        self._theta_overrides: Dict[str, float] = {}
+        self._recalibrations: Dict[str, dict] = {}
+        #: Control-plane tap: called synchronously with a
+        #: :class:`ScoredInterval` after each scored record, in stream
+        #: order.  The async executor bridges this onto the event bus.
+        self.on_scored: Optional[Callable[[ScoredInterval], None]] = None
         self.states: Dict[str, DeviceState] = {
             spec.device_id: DeviceState(spec=spec) for spec in specs
         }
@@ -211,11 +243,23 @@ class ShardWorker:
 
     # ------------------------------------------------------------------
     def score_batch(self, records: Sequence[IntervalRecord]) -> None:
-        """Score one cross-device batch of interval records."""
-        live: List[IntervalRecord] = []
-        for record in records:
-            state = self.states[record.device_id]
-            state.emitted += 1
+        """Score one cross-device batch of interval records.
+
+        Outcomes are applied to device state in **stream order**: a
+        record skipped by a ``serve.score`` fault lands in its device's
+        history at the same position whether its batch held one record
+        or thirty-two.  (Appending skips during the fault pass and
+        scores during the kernel pass would front-load a device's skips
+        within large batches — reordering its digest chain and resetting
+        alarm streaks at the wrong point in the stream, so the report
+        would depend on batch composition.)
+        """
+        faulted: Dict[int, bool] = {}
+        # Group live records by profile (each profile scores through
+        # its own detector), remembering each record's batch position.
+        by_profile: Dict[str, List[int]] = {}
+        for position, record in enumerate(records):
+            self.states[record.device_id].emitted += 1
             try:
                 fault = faults.check(
                     "serve.score",
@@ -226,18 +270,15 @@ class ShardWorker:
                         "serve.score", "corrupted MHM interval buffer"
                     )
             except Exception:
-                self._skip(state, record, reason="fault:serve.score")
+                faulted[position] = True
                 continue
-            live.append(record)
-        if not live:
-            return
-        # Group by profile: each profile scores through its own
-        # detector, in stream order within the batch.
-        by_profile: Dict[str, List[IntervalRecord]] = {}
-        for record in live:
-            by_profile.setdefault(record.profile, []).append(record)
-        for profile, group in by_profile.items():
+            by_profile.setdefault(record.profile, []).append(position)
+        densities: Dict[int, float] = {}
+        context_by_pos: Dict[int, float] = {}
+        residual_by_pos: Dict[int, np.ndarray] = {}
+        for profile, positions in by_profile.items():
             scorer = self.scorer_for(profile)
+            group = [records[i] for i in positions]
             matrix = np.stack([record.vector for record in group])
             if self.modality != "mhm":
                 # The context channels ride in the same fused call; the
@@ -254,29 +295,54 @@ class ShardWorker:
                 )
             else:
                 scores = scorer.score(matrix, pad_to=self.batch_pad)
-            theta = self.thetas[profile]
-            context_scores = scores.context_scores
-            residuals = scores.context_residuals
-            for position, (record, log_density) in enumerate(
-                zip(group, scores.log_densities)
-            ):
-                state = self.states[record.device_id]
-                if not np.isfinite(log_density):
-                    self._skip(state, record, reason="non-finite-density")
-                    continue
-                self._record(
-                    state,
-                    record,
-                    float(log_density),
-                    theta,
-                    context_score=(
-                        float(context_scores[position])
-                        if context_scores is not None
-                        else None
-                    ),
-                    context_residual=(
-                        residuals[position] if residuals is not None else None
-                    ),
+            for row, position in enumerate(positions):
+                densities[position] = float(scores.log_densities[row])
+                if scores.context_scores is not None:
+                    context_by_pos[position] = float(
+                        scores.context_scores[row]
+                    )
+                if scores.context_residuals is not None:
+                    residual_by_pos[position] = scores.context_residuals[row]
+        for position, record in enumerate(records):
+            state = self.states[record.device_id]
+            if faulted.get(position):
+                self._skip(state, record, reason="fault:serve.score")
+                continue
+            log_density = densities[position]
+            if not np.isfinite(log_density):
+                self._skip(state, record, reason="non-finite-density")
+                continue
+            # Per-record threshold lookup so a recalibration commit
+            # takes effect on the device's very next record — even
+            # mid-batch (`on_scored` runs inline below, and a commit
+            # it triggers lands in _theta_overrides immediately).
+            effective = self._theta_overrides.get(
+                record.device_id, self.thetas[record.profile]
+            )
+            self._record(
+                state,
+                record,
+                log_density,
+                effective,
+                context_score=context_by_pos.get(position),
+                context_residual=residual_by_pos.get(position),
+            )
+            if self.on_scored is not None:
+                self.on_scored(
+                    ScoredInterval(
+                        device_id=record.device_id,
+                        profile=record.profile,
+                        interval_index=record.interval_index,
+                        log_density=log_density,
+                        theta=effective,
+                        flag=state.flags[-1],
+                        alarm=bool(
+                            state.alarms
+                            and state.alarms[-1] == record.interval_index
+                        ),
+                        truth=record.truth,
+                        time_ns=record.time_ns,
+                    )
                 )
 
     def record_dropped(self, record: IntervalRecord) -> None:
@@ -284,6 +350,20 @@ class ShardWorker:
         state = self.states[record.device_id]
         state.emitted += 1
         state.dropped += 1
+
+    def apply_threshold(
+        self,
+        device_id: str,
+        theta: float,
+        interval_index: Optional[int] = None,
+    ) -> None:
+        """Hot-swap one device's detection threshold (recalibration
+        commit).  Takes effect on the device's next scored record."""
+        self._theta_overrides[device_id] = float(theta)
+        self._recalibrations[device_id] = {
+            "threshold": float(theta),
+            "interval": interval_index,
+        }
 
     # ------------------------------------------------------------------
     def _verdict_telemetry(
@@ -456,11 +536,20 @@ class ShardWorker:
 
     # ------------------------------------------------------------------
     def device_report(
-        self, spec: DeviceSpec, shard: int, keep_densities: bool = False
+        self,
+        spec: DeviceSpec,
+        shard: int,
+        keep_densities: bool = False,
+        cadence: int = 1,
     ) -> DeviceReport:
         """Roll one device's state up into its report entry."""
         state = self.states[spec.device_id]
-        theta = self.thetas[spec.profile]
+        # The drift verdict is judged against the *deployed* threshold —
+        # the committed override when recalibration swapped one in.
+        theta = self._theta_overrides.get(
+            spec.device_id, self.thetas[spec.profile]
+        )
+        recalibration = self._recalibrations.get(spec.device_id)
         status = self.drift.status(spec.device_id, theta, self.p_percent)
         scored = sum(1 for flag in state.flags if flag != SKIPPED)
         skipped = sum(1 for flag in state.flags if flag == SKIPPED)
@@ -517,4 +606,12 @@ class ShardWorker:
                 state.context_drift_max if self.modality != "mhm" else None
             ),
             context_drift_exceeded=state.context_drift_exceeded,
+            cadence=cadence,
+            recalibrated=recalibration is not None,
+            recalibrated_threshold=(
+                recalibration["threshold"] if recalibration else None
+            ),
+            recalibrated_at_interval=(
+                recalibration["interval"] if recalibration else None
+            ),
         )

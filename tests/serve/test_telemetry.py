@@ -136,6 +136,8 @@ def _report_like(**overrides):
     base = dict(
         devices=4, intervals=8, emitted=32, dropped=0, skipped=0,
         scored=32, devices_drifted=0, alarms=2, fleet_digest="abc123",
+        device_reports=[SimpleNamespace(cadence=1) for _ in range(4)],
+        bus=None,
     )
     base.update(overrides)
     return SimpleNamespace(**base)

@@ -25,6 +25,8 @@ def _report(tmp_path, files: dict) -> str:
 
 GOOD = {
     "src/repro/serve/service.py": _entry(90, 100),
+    "src/repro/serve/bus.py": _entry(90, 100),
+    "src/repro/serve/recalibrate.py": _entry(90, 100),
     "src/repro/attacks/mimicry.py": _entry(95, 100),
     "src/repro/conformance/matrix.py": _entry(88, 100),
     "src/repro/learn/contexts.py": _entry(92, 100),
@@ -37,6 +39,8 @@ class TestGates:
     def test_every_subsystem_is_gated(self):
         assert set(check_coverage.GATES) == {
             "src/repro/serve/",
+            "src/repro/serve/bus.py",
+            "src/repro/serve/recalibrate.py",
             "src/repro/attacks/",
             "src/repro/conformance/",
             "src/repro/learn/contexts.py",
@@ -62,6 +66,19 @@ class TestGates:
         files = {k: v for k, v in GOOD.items() if prefix not in k}
         assert check_coverage.main([_report(tmp_path, files)]) == 1
         assert f"no {prefix} files" in capsys.readouterr().out
+
+    def test_module_gate_not_masked_by_serve_aggregate(
+        self, tmp_path, capsys
+    ):
+        """An undertested bus.py must fail its own gate even when the
+        serve/ aggregate stays above the package floor."""
+        files = dict(GOOD)
+        files["src/repro/serve/service.py"] = _entry(100, 100)
+        files["src/repro/serve/bus.py"] = _entry(60, 100)
+        files["src/repro/serve/recalibrate.py"] = _entry(100, 100)
+        assert check_coverage.main([_report(tmp_path, files)]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/serve/bus.py below 85.0%" in out
 
     def test_rest_below_baseline_fails(self, tmp_path, capsys):
         files = dict(GOOD)

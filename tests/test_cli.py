@@ -433,7 +433,8 @@ class TestExitCodeEnum:
         assert ExitCode.BENCH_REGRESSION == 5
         assert ExitCode.SERVE_DEGRADED == 6
         assert ExitCode.MATRIX_DIVERGENCE == 7
-        assert len(ExitCode) == 8
+        assert ExitCode.BUS_STALL == 8
+        assert len(ExitCode) == 9
 
     def test_legacy_aliases_point_at_the_enum(self):
         from repro import cli
@@ -607,6 +608,97 @@ class TestServeCommand:
         captured = capsys.readouterr()
         assert code == 2
         assert "invalid fleet report" in captured.err
+
+
+class TestServeAsyncCLI:
+    """The async-executor flags added by the event-bus PR."""
+
+    TINY = TestServeCommand.TINY
+    _run = TestServeCommand._run
+
+    def test_async_executor_exits_ok_and_records_bus(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "fleet.json"
+        code, _ = self._run(
+            ["--executor", "async", "--report-out", str(out)],
+            tmp_path, capsys,
+        )
+        assert code == EXIT_OK
+        payload = json.loads(out.read_text())
+        assert payload["executor"] == "async"
+        assert payload["bus"]["published"] > 0
+        assert payload["bus"]["failures"] == []
+
+    def test_cadences_with_async_executor(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        code, _ = self._run(
+            [
+                "--executor", "async", "--cadences", "1,2",
+                "--report-out", str(out),
+            ],
+            tmp_path, capsys,
+        )
+        assert code == EXIT_OK
+        payload = json.loads(out.read_text())
+        cadences = {d["cadence"] for d in payload["device_reports"]}
+        assert cadences == {1, 2}
+
+    def test_cadences_under_lockstep_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        code, captured = self._run(
+            ["--cadences", "1,2"], tmp_path, capsys
+        )
+        assert code == 2
+        assert "async" in captured.err
+
+    def test_malformed_cadences_is_usage_error(self, tmp_path, capsys):
+        code, captured = self._run(
+            ["--executor", "async", "--cadences", "1,x"],
+            tmp_path, capsys,
+        )
+        assert code == 2
+        assert "--cadences" in captured.err
+
+    def test_poisoned_subscriber_writes_failures_manifest(
+        self, tmp_path, capsys
+    ):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "seed": 5,
+            "sites": {
+                "subscriber.handle": {
+                    "mode": "raise", "probability": 1.0,
+                    "match": "reporting",
+                },
+            },
+        }))
+        failures_out = tmp_path / "failures.json"
+        code, captured = self._run(
+            [
+                "--executor", "async", "--fault-plan", str(plan),
+                "--failures-out", str(failures_out),
+            ],
+            tmp_path, capsys,
+        )
+        assert code == EXIT_OK
+        failures = json.loads(failures_out.read_text())
+        assert len(failures) == 1
+        assert failures[0]["subscriber"] == "reporting"
+        assert "poisoned subscriber" in captured.err
+
+    def test_healthy_run_writes_empty_manifest_quietly(
+        self, tmp_path, capsys
+    ):
+        failures_out = tmp_path / "failures.json"
+        code, captured = self._run(
+            ["--executor", "async", "--failures-out", str(failures_out)],
+            tmp_path, capsys,
+        )
+        assert code == EXIT_OK
+        assert json.loads(failures_out.read_text()) == []
+        assert "poisoned" not in captured.err
 
 
 class TestServeTelemetryCLI:
